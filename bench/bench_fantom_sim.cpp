@@ -1,0 +1,70 @@
+// Experiment F1/F2 — the FANTOM architecture of Figs. 1-2 in operation.
+//
+// Assembles the complete gate-level machine (combinational core + VOM
+// handshake) for each benchmark and drives long random-walk workloads
+// with multiple-input changes through the G/VOM protocol.  Reports the
+// hazard-freedom scoreboard (failures must be zero within the timing
+// assumptions) and the event-simulation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+#include "sim/harness.hpp"
+
+namespace {
+
+using seance::bench_suite::table1_suite;
+
+void print_walks() {
+  std::printf("\n=== FANTOM handshake walks (random MIC workloads, skew <= 2) ===\n");
+  std::printf("%-14s | %7s | %9s | %8s | %9s | %10s\n", "Benchmark", "steps",
+              "MIC steps", "failures", "Z glitch", "gates");
+  std::printf("---------------+---------+-----------+----------+-----------+-----------\n");
+  for (const auto& bench : table1_suite()) {
+    const auto table = seance::bench_suite::load(bench);
+    const auto machine = seance::core::synthesize(table);
+    seance::sim::HarnessOptions options;
+    options.max_skew = 2;
+    seance::sim::FantomHarness harness(machine, options);
+    (void)harness.reset(0, machine.table.stable_columns(0).front());
+    const auto summary = harness.random_walk(2000, 17);
+    std::printf("%-14s | %7d | %9d | %8d | %9d | %10d\n", bench.name.c_str(),
+                summary.applied, summary.mic_steps, summary.failures,
+                summary.z_glitches, harness.net().stats().logic_gates);
+  }
+  std::printf("\n");
+}
+
+void BM_HandshakeWalk(benchmark::State& state) {
+  const auto& bench = table1_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto table = seance::bench_suite::load(bench);
+  const auto machine = seance::core::synthesize(table);
+  seance::sim::HarnessOptions options;
+  options.max_skew = 2;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    seance::sim::FantomHarness harness(machine, options);
+    (void)harness.reset(0, machine.table.stable_columns(0).front());
+    const auto summary = harness.random_walk(200, 29);
+    steps += summary.applied;
+    benchmark::DoNotOptimize(summary);
+  }
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.SetLabel(bench.name);
+}
+
+BENCHMARK(BM_HandshakeWalk)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_walks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment F4 — cost and yield of the Fig. 4 hazard-search algorithm.
+//
+// The search enumerates every strict intermediate vector of every MIC
+// stable-state transition: a transition flipping h input bits visits
+// 2^h - 2 points.  The sweep varies input width and MIC density and
+// reports visited points, hazard hits, and time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "assign/ustt.hpp"
+#include "bench_suite/generator.hpp"
+#include "hazard/search.hpp"
+#include "minimize/reduce.hpp"
+
+namespace {
+
+struct Prepared {
+  seance::flowtable::FlowTable table;
+  std::vector<std::uint32_t> codes;
+  int num_vars;
+};
+
+Prepared prepare(int states, int inputs, double mic_bias, std::uint64_t seed) {
+  seance::bench_suite::GeneratorOptions gen;
+  gen.num_states = states;
+  gen.num_inputs = inputs;
+  gen.num_outputs = 1;
+  gen.mic_bias = mic_bias;
+  gen.transition_density = 0.7;
+  gen.seed = seed;
+  auto table = seance::bench_suite::generate(gen);
+  auto assignment = seance::assign::assign_ustt(table);
+  return Prepared{std::move(table), std::move(assignment.codes), assignment.num_vars};
+}
+
+void print_sweep() {
+  std::printf("\n=== Fig. 4 hazard search: yield vs input width and MIC bias ===\n");
+  std::printf("%6s %6s %9s | %12s %12s %12s %10s\n", "inputs", "states",
+              "mic_bias", "transitions", "MIC trans", "points", "hazards");
+  std::printf("------------------------+----------------------------------------------------\n");
+  for (const int inputs : {2, 3, 4, 5, 6}) {
+    for (const double bias : {0.2, 0.8}) {
+      const Prepared p = prepare(8, inputs, bias, 11);
+      seance::hazard::EncodedTable encoded{&p.table, p.codes, p.num_vars};
+      const auto lists = seance::hazard::find_hazards(encoded);
+      std::printf("%6d %6d %9.1f | %12zu %12zu %12zu %10zu\n", inputs, 8, bias,
+                  lists.stats.stable_transitions, lists.stats.mic_transitions,
+                  lists.stats.intermediate_points, lists.stats.hazard_hits);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_HazardSearchWidth(benchmark::State& state) {
+  const Prepared p = prepare(8, static_cast<int>(state.range(0)), 0.8, 11);
+  seance::hazard::EncodedTable encoded{&p.table, p.codes, p.num_vars};
+  std::size_t points = 0;
+  for (auto _ : state) {
+    const auto lists = seance::hazard::find_hazards(encoded);
+    points = lists.stats.intermediate_points;
+    benchmark::DoNotOptimize(lists);
+  }
+  state.counters["points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_HazardSearchWidth)->DenseRange(2, 6)->Unit(benchmark::kMicrosecond);
+
+void BM_HazardSearchStates(benchmark::State& state) {
+  const Prepared p = prepare(static_cast<int>(state.range(0)), 4, 0.8, 11);
+  seance::hazard::EncodedTable encoded{&p.table, p.codes, p.num_vars};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::hazard::find_hazards(encoded));
+  }
+}
+BENCHMARK(BM_HazardSearchStates)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

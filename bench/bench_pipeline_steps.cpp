@@ -1,0 +1,129 @@
+// Experiment F3 — the SEANCE flow of Fig. 3, step by step, and its
+// scaling over synthetic normal-mode tables (states 4-24, inputs 2-5).
+//
+// Prints per-step wall time (reduction, USTT assignment, hazard search,
+// equation generation) so the cost structure of the flow chart is
+// visible, then times the steps with google-benchmark over the sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "assign/ustt.hpp"
+#include "bench_suite/generator.hpp"
+#include "core/synthesize.hpp"
+#include "hazard/search.hpp"
+#include "minimize/reduce.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+seance::flowtable::FlowTable make_table(int states, int inputs, std::uint64_t seed) {
+  seance::bench_suite::GeneratorOptions gen;
+  gen.num_states = states;
+  gen.num_inputs = inputs;
+  gen.num_outputs = 2;
+  gen.seed = seed;
+  return seance::bench_suite::generate(gen);
+}
+
+void print_steps() {
+  std::printf("\n=== SEANCE per-step cost over synthetic tables ===\n");
+  std::printf("%6s %6s | %10s %10s %10s %12s | %8s %8s\n", "states", "inputs",
+              "reduce", "assign", "hazards", "equations", "st.vars", "FL size");
+  std::printf("--------------+------------------------------------------------+------------------\n");
+  // Combos are chosen to keep the QM equation space under ~12 variables;
+  // the 13-variable points (e.g. 16 states x 3 inputs reducing to 9 state
+  // variables) push prime generation into the tens of seconds and are
+  // reported in EXPERIMENTS.md instead of being re-run every invocation.
+  const int combos[][2] = {{4, 2}, {4, 3}, {4, 4}, {8, 2}, {8, 3}, {8, 4},
+                           {12, 2}, {12, 4}, {16, 2}};
+  for (const auto& combo : combos) {
+    const int states = combo[0];
+    const int inputs = combo[1];
+    {
+      const auto table = make_table(states, inputs, 42);
+
+      auto t0 = Clock::now();
+      const auto reduction = seance::minimize::reduce(table);
+      const double t_reduce = ms_since(t0);
+
+      t0 = Clock::now();
+      const auto assignment = seance::assign::assign_ustt(reduction.reduced);
+      const double t_assign = ms_since(t0);
+
+      t0 = Clock::now();
+      seance::hazard::EncodedTable encoded{&reduction.reduced, assignment.codes,
+                                           assignment.num_vars};
+      const auto hazards = seance::hazard::find_hazards(encoded);
+      const double t_hazard = ms_since(t0);
+
+      t0 = Clock::now();
+      const auto machine = seance::core::synthesize(table);
+      const double t_total = ms_since(t0);
+
+      std::printf("%6d %6d | %8.2fms %8.2fms %8.2fms %10.2fms | %8d %8d\n",
+                  states, inputs, t_reduce, t_assign, t_hazard, t_total,
+                  machine.layout.num_state_vars,
+                  static_cast<int>(machine.hazards.fl.size()));
+    }
+  }
+  std::printf("(equations column = full pipeline incl. QM and factoring)\n\n");
+}
+
+void BM_Reduce(benchmark::State& state) {
+  const auto table = make_table(static_cast<int>(state.range(0)), 3, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(seance::minimize::reduce(table));
+}
+BENCHMARK(BM_Reduce)->Arg(6)->Arg(10)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_Assign(benchmark::State& state) {
+  const auto table = make_table(static_cast<int>(state.range(0)), 3, 7);
+  const auto reduction = seance::minimize::reduce(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::assign::assign_ustt(reduction.reduced));
+  }
+}
+BENCHMARK(BM_Assign)->Arg(6)->Arg(10)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_HazardSearch(benchmark::State& state) {
+  const auto table = make_table(static_cast<int>(state.range(0)), 3, 7);
+  const auto reduction = seance::minimize::reduce(table);
+  const auto assignment = seance::assign::assign_ustt(reduction.reduced);
+  seance::hazard::EncodedTable encoded{&reduction.reduced, assignment.codes,
+                                       assignment.num_vars};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::hazard::find_hazards(encoded));
+  }
+}
+BENCHMARK(BM_HazardSearch)->Arg(6)->Arg(10)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineSweep(benchmark::State& state) {
+  const auto table = make_table(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)), 7);
+  for (auto _ : state) benchmark::DoNotOptimize(seance::core::synthesize(table));
+}
+// Larger sweeps are bounded by the Quine-McCluskey space: past ~14
+// equation variables (inputs + state variables + fsv) prime generation
+// over the don't-care-rich space dominates, so the sweep stops at 16x4.
+BENCHMARK(BM_FullPipelineSweep)
+    ->Args({6, 2})
+    ->Args({10, 3})
+    ->Args({12, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_steps();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

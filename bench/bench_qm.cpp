@@ -1,0 +1,86 @@
+// Experiment A2 — the Quine-McCluskey engine of §5.2.
+//
+// Every SEANCE equation (Z, SSD, fsv, Y) is reduced with this engine, so
+// its scaling over variable count and ON-set density bounds the whole
+// flow.  Sweeps essential-SOP and all-primes modes on random functions.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "logic/qm.hpp"
+
+namespace {
+
+struct Func {
+  std::vector<seance::logic::Minterm> on;
+  std::vector<seance::logic::Minterm> dc;
+};
+
+Func random_function(int num_vars, double p_on, double p_dc, std::uint64_t seed) {
+  Func f;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (seance::logic::Minterm m = 0; m < (1u << num_vars); ++m) {
+    const double r = dist(rng);
+    if (r < p_on) {
+      f.on.push_back(m);
+    } else if (r < p_on + p_dc) {
+      f.dc.push_back(m);
+    }
+  }
+  return f;
+}
+
+void print_table() {
+  std::printf("\n=== Quine-McCluskey scaling (random functions, 30%% ON / 20%% DC) ===\n");
+  std::printf("%6s | %8s | %10s | %10s\n", "vars", "primes", "ess. cubes", "all-prime");
+  std::printf("-------+----------+------------+-----------\n");
+  for (int vars = 4; vars <= 12; ++vars) {
+    const Func f = random_function(vars, 0.3, 0.2, 97);
+    const auto primes = seance::logic::compute_primes(vars, f.on, f.dc);
+    const auto essential = seance::logic::minimize_sop(vars, f.on, f.dc);
+    const auto all = seance::logic::all_primes_cover(vars, f.on, f.dc);
+    std::printf("%6d | %8zu | %10zu | %10zu\n", vars, primes.size(),
+                essential.size(), all.size());
+  }
+  std::printf("\n");
+}
+
+void BM_ComputePrimes(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const Func f = random_function(vars, 0.3, 0.2, 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::logic::compute_primes(vars, f.on, f.dc));
+  }
+}
+BENCHMARK(BM_ComputePrimes)->DenseRange(4, 12)->Unit(benchmark::kMicrosecond);
+
+void BM_EssentialSop(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const Func f = random_function(vars, 0.3, 0.2, 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::logic::minimize_sop(vars, f.on, f.dc));
+  }
+}
+BENCHMARK(BM_EssentialSop)->DenseRange(4, 11)->Unit(benchmark::kMicrosecond);
+
+void BM_AllPrimes(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const Func f = random_function(vars, 0.3, 0.2, 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::logic::all_primes_cover(vars, f.on, f.dc));
+  }
+}
+BENCHMARK(BM_AllPrimes)->DenseRange(4, 11)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

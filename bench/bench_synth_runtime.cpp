@@ -1,0 +1,57 @@
+// Experiment T1b — §6's runtime claim: "SEANCE takes about four seconds
+// of CPU time on a Digital Equipment VAXStation 3100 to run an example."
+//
+// We time the full seven-step pipeline per benchmark on the host.  A
+// modern machine is ~10^3-10^4x a VAXStation 3100 (~3 VUPS), so anything
+// in the 0.1-10 ms range is order-of-magnitude consistent with the paper.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+
+namespace {
+
+using seance::bench_suite::table1_suite;
+
+void print_runtimes() {
+  std::printf("\n=== Synthesis CPU time per benchmark (paper: ~4 s on a VAXStation 3100) ===\n");
+  std::printf("%-14s | %12s\n", "Benchmark", "wall time");
+  std::printf("---------------+--------------\n");
+  for (const auto& bench : table1_suite()) {
+    const auto table = seance::bench_suite::load(bench);
+    const auto start = std::chrono::steady_clock::now();
+    const auto machine = seance::core::synthesize(table);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    std::printf("%-14s | %9.3f ms   (%d states, %d hazard states)\n",
+                bench.name.c_str(), ms, machine.table.num_states(),
+                static_cast<int>(machine.hazards.fl.size()));
+  }
+  std::printf("\n");
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& bench = table1_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto table = seance::bench_suite::load(bench);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seance::core::synthesize(table));
+  }
+  state.SetLabel(bench.name);
+}
+
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_runtimes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Experiment T1 — the paper's Table 1.
+//
+//   Benchmark | fsv Depth | Y Depth | Total Depth
+//
+// "Depth" is the number of gate levels of the fsv equation and of the
+// deepest next-state equation; Total is the worst-case level count to
+// reach stability (VOM assertion) = fsv + Y + 1 (gate A).  Paper values
+// (DAC'91 Table 1) are printed alongside for comparison.  Absolute
+// equality is not expected — the benchmark tables are reconstructions
+// (DESIGN.md §4) — but the structure (Y depth pinned at 5 by the Fig. 5
+// factoring, fsv depth 2-4, totals 8-10) should match.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+
+namespace {
+
+using seance::bench_suite::table1_suite;
+
+void print_table1() {
+  std::printf("\n=== Table 1: Results Using MCNC Benchmarks (reconstruction) ===\n");
+  std::printf("%-14s | %-19s | %-19s | %-19s | %s\n", "Benchmark",
+              "fsv Depth (paper)", "Y Depth (paper)", "Total (paper)",
+              "states (reduced)");
+  std::printf("---------------+---------------------+---------------------+"
+              "---------------------+-----------------\n");
+  for (const auto& bench : table1_suite()) {
+    const auto table = seance::bench_suite::load(bench);
+    const auto machine = seance::core::synthesize(table);
+    const auto depths = machine.depth_report();
+    std::printf("%-14s | %4d  (%d)           | %4d  (%d)           | %4d  (%d)"
+                "           | %d -> %d\n",
+                bench.name.c_str(), depths.fsv_depth, bench.paper_fsv_depth,
+                depths.y_depth, bench.paper_y_depth, depths.total_depth,
+                bench.paper_total_depth, table.num_states(),
+                machine.table.num_states());
+  }
+  std::printf("\n");
+}
+
+void BM_SynthesizeTable1(benchmark::State& state) {
+  const auto& bench = table1_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto table = seance::bench_suite::load(bench);
+  seance::core::DepthReport depths;
+  for (auto _ : state) {
+    const auto machine = seance::core::synthesize(table);
+    depths = machine.depth_report();
+    benchmark::DoNotOptimize(machine);
+  }
+  state.counters["fsv_depth"] = depths.fsv_depth;
+  state.counters["y_depth"] = depths.y_depth;
+  state.counters["total_depth"] = depths.total_depth;
+  state.SetLabel(bench.name);
+}
+
+BENCHMARK(BM_SynthesizeTable1)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// STG front-end demo (paper §5.1): specify behaviour as a signal
+// transition graph, derive the flow table, synthesize, and simulate.
+//
+//   $ ./stg_handshake
+//
+// The spec is the parallel join: output c rises only after *both* inputs
+// a and b have risen, and falls after both have fallen.  Because a and b
+// are concurrent, the environment may flip them in the same handshake —
+// the STG's concurrency is exactly where multiple-input changes come
+// from, which is why STG-specified controllers need a MIC-capable target
+// architecture like FANTOM.
+
+#include <cstdio>
+
+#include "core/synthesize.hpp"
+#include "sim/harness.hpp"
+#include "stg/stg.hpp"
+
+int main() {
+  const seance::stg::Stg stg = seance::stg::parallel_join();
+  std::printf("STG: %zu signals, %zu transitions, %zu places\n",
+              stg.signals().size(), stg.transitions().size(), stg.arcs().size());
+
+  seance::stg::Stg::ConversionStats stats;
+  const seance::flowtable::FlowTable table = stg.to_flow_table(&stats);
+  std::printf("conversion: %d stable states, %d MIC entries\n\n",
+              stats.stable_states, stats.mic_entries);
+  std::printf("%s\n", table.to_string().c_str());
+
+  const seance::core::FantomMachine machine = seance::core::synthesize(table);
+  std::printf("%s\n", machine.report().c_str());
+
+  // Drive the join through the gate-level machine: raise both inputs at
+  // once, then drop both at once.
+  seance::sim::HarnessOptions options;
+  options.max_skew = 2;
+  seance::sim::FantomHarness harness(machine, options);
+  int rest = 0;
+  for (int s = 0; s < machine.table.num_states(); ++s) {
+    const auto cols = machine.table.stable_columns(s);
+    if (!cols.empty() && cols.front() == 0) rest = s;
+  }
+  if (!harness.reset(rest, 0)) {
+    std::printf("error: could not park at rest state\n");
+    return 1;
+  }
+  const int sequence[] = {0b11, 0b00, 0b01, 0b11, 0b10, 0b00};
+  std::printf("handshake trace:\n");
+  for (const int column : sequence) {
+    if (!machine.table.entry(harness.current_state(), column).specified()) {
+      std::printf("  inputs %d%d : not admissible here, skipped\n",
+                  column & 1, (column >> 1) & 1);
+      continue;
+    }
+    const auto r = harness.apply_column(column);
+    if (!r.ok()) {
+      std::printf("  handshake failed!\n");
+      return 1;
+    }
+    const auto& outs = machine.table.entry(r.expected_state, column).outputs;
+    std::printf("  inputs a=%d b=%d %-26s -> c=%c\n", column & 1,
+                (column >> 1) & 1, r.mic ? "(both changed together)" : "",
+                seance::flowtable::to_char(outs[0]));
+  }
+  std::printf("\nThe join fired c exactly when both inputs agreed, through"
+              " simultaneous\ninput changes, with hazard-free completion"
+              " handshakes throughout.\n");
+  return 0;
+}

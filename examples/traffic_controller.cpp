@@ -1,0 +1,71 @@
+// Traffic-light controller — the classic workload the paper's suite
+// includes, driven through the full gate-level FANTOM machine.
+//
+//   $ ./traffic_controller
+//
+// Inputs: x0 = car waiting on the farm road, x1 = interval timer expired.
+// Outputs: z0 = highway green, z1 = farm-road green.  The interesting
+// scenario is the car arriving in the very same handshake the timer
+// fires (both inputs flip at once): a single-input-change design would
+// have to forbid it; FANTOM takes it in stride.
+
+#include <bit>
+#include <cstdio>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+#include "sim/harness.hpp"
+
+namespace {
+
+const char* light(bool highway, bool farm) {
+  if (highway && !farm) return "highway GREEN / farm red";
+  if (!highway && farm) return "highway red   / farm GREEN";
+  return "all red (yellow phase)";
+}
+
+}  // namespace
+
+int main() {
+  const auto table =
+      seance::bench_suite::load(seance::bench_suite::by_name("traffic"));
+  const auto machine = seance::core::synthesize(table);
+  std::printf("Synthesized controller:\n%s\n", machine.report().c_str());
+
+  seance::sim::HarnessOptions options;
+  options.max_skew = 2;  // line-delay skew between the two sensors
+  seance::sim::FantomHarness harness(machine, options);
+  if (!harness.reset(0, 0)) {
+    std::printf("error: machine would not park at (HG, 00)\n");
+    return 1;
+  }
+
+  // Scenario: quiet highway; then the car shows up exactly when the timer
+  // fires (column 00 -> 11, a multiple-input change), the timer resets
+  // while the car is still there (11 -> 10), the car clears (10 -> 00).
+  const int scenario[] = {0b11, 0b01, 0b00};
+  const char* events[] = {
+      "car arrives AND timer fires simultaneously (MIC)",
+      "timer resets, car still waiting",
+      "car clears the sensor",
+  };
+  std::printf("Scenario run (stable state after each handshake):\n");
+  int step = 0;
+  for (const int column : scenario) {
+    const auto r = harness.apply_column(column);
+    if (!r.applied || !r.ok()) {
+      std::printf("  handshake FAILED (applied=%d state_ok=%d vom=%d)\n",
+                  r.applied, r.state_correct, r.vom);
+      return 1;
+    }
+    const auto& outs = machine.table.entry(r.expected_state, column).outputs;
+    const bool hwy = outs[0] == seance::flowtable::Trit::k1;
+    const bool farm = outs[1] == seance::flowtable::Trit::k1;
+    std::printf("  %-48s -> %-10s  [%s]%s\n", events[step++],
+                machine.table.state_name(r.expected_state).c_str(),
+                light(hwy, farm), r.mic ? "  (multiple-input change)" : "");
+  }
+  std::printf("\nAll handshakes completed with correct states and glitch-free"
+              " latched outputs.\n");
+  return 0;
+}

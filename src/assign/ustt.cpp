@@ -1,0 +1,320 @@
+#include "assign/ustt.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace seance::assign {
+
+using flowtable::Entry;
+using flowtable::FlowTable;
+
+namespace {
+
+// Transition in one input column: the set {source, destination} as a mask
+// (a single bit for a stable "parked" state).
+struct Transition {
+  StateSet states = 0;
+};
+
+std::vector<Transition> column_transitions(const FlowTable& table, int column) {
+  std::vector<Transition> ts;
+  for (int s = 0; s < table.num_states(); ++s) {
+    const Entry& e = table.entry(s, column);
+    if (!e.specified()) continue;
+    ts.push_back(Transition{(StateSet{1} << s) | (StateSet{1} << e.next)});
+  }
+  return ts;
+}
+
+// States that transiently occupy `column` while their inputs are still in
+// flight: `s` parks (or is held by fsv) at its own code in every strict
+// intermediate column of each of its multiple-input-change transitions.
+// Their codes must be separated from the column's transition sub-cubes,
+// otherwise a passing transition could momentarily specify a different
+// next state at the parked code (the overlap breaks both the USTT race
+// freedom and the fsv hold semantics).
+std::vector<StateSet> transient_parkers(const FlowTable& table, int column) {
+  std::vector<StateSet> parked;
+  for (int s = 0; s < table.num_states(); ++s) {
+    bool parks_here = false;
+    for (const int col_a : table.stable_columns(s)) {
+      for (int col_b = 0; col_b < table.num_columns() && !parks_here; ++col_b) {
+        if (col_b == col_a || !table.entry(s, col_b).specified()) continue;
+        const std::uint32_t diff =
+            static_cast<std::uint32_t>(col_a) ^ static_cast<std::uint32_t>(col_b);
+        if (std::popcount(diff) <= 1) continue;
+        const std::uint32_t between =
+            static_cast<std::uint32_t>(col_a) ^ static_cast<std::uint32_t>(column);
+        // `column` lies strictly inside the transition sub-cube?
+        if (column != col_a && column != col_b && (between & ~diff) == 0) {
+          parks_here = true;
+        }
+      }
+      if (parks_here) break;
+    }
+    if (parks_here) parked.push_back(StateSet{1} << s);
+  }
+  return parked;
+}
+
+Dichotomy canonical(Dichotomy d) {
+  if (d.b < d.a) std::swap(d.a, d.b);
+  return d;
+}
+
+}  // namespace
+
+bool separates(const Partition& p, const Dichotomy& d) {
+  return ((d.a & ~p.zeros) == 0 && (d.b & ~p.ones) == 0) ||
+         ((d.a & ~p.ones) == 0 && (d.b & ~p.zeros) == 0);
+}
+
+std::vector<Dichotomy> transition_dichotomies(const FlowTable& table) {
+  std::vector<Dichotomy> dichotomies;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::vector<Transition> ts = column_transitions(table, c);
+    for (StateSet parker : transient_parkers(table, c)) {
+      ts.push_back(Transition{parker});
+    }
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      for (std::size_t j = i + 1; j < ts.size(); ++j) {
+        if ((ts[i].states & ts[j].states) != 0) continue;  // interacting
+        // Two parked states impose only code distinctness, which the
+        // unicode completion enforces globally; a genuine transition must be
+        // separated from every disjoint transition or parked state.
+        if (std::popcount(ts[i].states) == 1 && std::popcount(ts[j].states) == 1) {
+          continue;
+        }
+        dichotomies.push_back(canonical(Dichotomy{ts[i].states, ts[j].states}));
+      }
+    }
+  }
+  std::sort(dichotomies.begin(), dichotomies.end(),
+            [](const Dichotomy& x, const Dichotomy& y) {
+              return std::pair{x.a, x.b} < std::pair{y.a, y.b};
+            });
+  dichotomies.erase(std::unique(dichotomies.begin(), dichotomies.end()),
+                    dichotomies.end());
+
+  // Dominance: drop D2 when some D1 has D2's blocks inside its own blocks
+  // (any partition separating D1 then separates D2).
+  std::vector<char> dropped(dichotomies.size(), 0);
+  for (std::size_t i = 0; i < dichotomies.size(); ++i) {
+    if (dropped[i]) continue;
+    for (std::size_t j = 0; j < dichotomies.size(); ++j) {
+      if (i == j || dropped[j]) continue;
+      const Dichotomy& big = dichotomies[i];
+      const Dichotomy& small = dichotomies[j];
+      const bool direct = (small.a & ~big.a) == 0 && (small.b & ~big.b) == 0;
+      const bool swapped = (small.a & ~big.b) == 0 && (small.b & ~big.a) == 0;
+      if ((direct || swapped) && !(big.a == small.a && big.b == small.b)) {
+        dropped[j] = 1;
+      }
+    }
+  }
+  std::vector<Dichotomy> kept;
+  for (std::size_t i = 0; i < dichotomies.size(); ++i) {
+    if (!dropped[i]) kept.push_back(dichotomies[i]);
+  }
+  return kept;
+}
+
+namespace {
+
+// Exact minimum "coloring" of dichotomies into mergeable classes, with a
+// node budget; each class becomes one state variable.
+class PartitionSearch {
+ public:
+  PartitionSearch(std::vector<Dichotomy> dichotomies, std::size_t budget)
+      : dichotomies_(std::move(dichotomies)), budget_(budget) {
+    // Most-constrained-first: larger dichotomies are harder to place.
+    std::sort(dichotomies_.begin(), dichotomies_.end(),
+              [](const Dichotomy& x, const Dichotomy& y) {
+                return std::popcount(x.a | x.b) > std::popcount(y.a | y.b);
+              });
+  }
+
+  // Returns the classes; sets `exact` false if the budget ran out (the
+  // incumbent greedy solution is returned in that case).
+  std::vector<Partition> solve(bool* exact) {
+    greedy();
+    std::vector<Partition> classes;
+    recurse(0, classes);
+    if (exact != nullptr) *exact = nodes_ <= budget_;
+    return best_;
+  }
+
+ private:
+  static bool fits(const Partition& p, const Dichotomy& d, bool flip) {
+    const StateSet zeros = flip ? d.b : d.a;
+    const StateSet ones = flip ? d.a : d.b;
+    return (zeros & p.ones) == 0 && (ones & p.zeros) == 0;
+  }
+
+  static void merge(Partition& p, const Dichotomy& d, bool flip) {
+    p.zeros |= flip ? d.b : d.a;
+    p.ones |= flip ? d.a : d.b;
+  }
+
+  void greedy() {
+    std::vector<Partition> classes;
+    for (const Dichotomy& d : dichotomies_) {
+      bool placed = false;
+      for (Partition& p : classes) {
+        for (const bool flip : {false, true}) {
+          if (fits(p, d, flip)) {
+            merge(p, d, flip);
+            placed = true;
+            break;
+          }
+        }
+        if (placed) break;
+      }
+      if (!placed) classes.push_back(Partition{d.a, d.b});
+    }
+    best_ = std::move(classes);
+  }
+
+  void recurse(std::size_t index, std::vector<Partition>& classes) {
+    if (nodes_ > budget_) return;
+    ++nodes_;
+    if (classes.size() >= best_.size()) return;  // cannot improve
+    if (index == dichotomies_.size()) {
+      best_ = classes;
+      return;
+    }
+    const Dichotomy& d = dichotomies_[index];
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      for (const bool flip : {false, true}) {
+        if (!fits(classes[i], d, flip)) continue;
+        const Partition saved = classes[i];
+        merge(classes[i], d, flip);
+        recurse(index + 1, classes);
+        classes[i] = saved;
+        if (nodes_ > budget_) return;
+      }
+    }
+    // Open a new class.
+    classes.push_back(Partition{d.a, d.b});
+    recurse(index + 1, classes);
+    classes.pop_back();
+  }
+
+  std::vector<Dichotomy> dichotomies_;
+  std::size_t budget_;
+  std::vector<Partition> best_;
+  std::size_t nodes_ = 0;
+};
+
+std::vector<std::uint32_t> codes_from_partitions(int num_states,
+                                                 const std::vector<Partition>& parts) {
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(num_states), 0);
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    for (int s = 0; s < num_states; ++s) {
+      if (parts[v].ones & (StateSet{1} << s)) {
+        codes[static_cast<std::size_t>(s)] |= 1u << v;
+      }
+    }
+  }
+  return codes;
+}
+
+}  // namespace
+
+Assignment assign_ustt(const FlowTable& table, const AssignOptions& options) {
+  if (table.num_states() > minimize::kMaxStates) {
+    throw std::invalid_argument("assign_ustt: too many states");
+  }
+  std::vector<Dichotomy> dichotomies = transition_dichotomies(table);
+
+  for (int round = 0;; ++round) {
+    if (round > table.num_states() * table.num_states()) {
+      throw std::runtime_error("assign_ustt: uniqueness completion did not converge");
+    }
+    PartitionSearch search(dichotomies, options.node_budget);
+    bool exact = true;
+    std::vector<Partition> parts = search.solve(&exact);
+    std::vector<std::uint32_t> codes =
+        codes_from_partitions(table.num_states(), parts);
+
+    if (!options.ensure_unique) {
+      return Assignment{std::move(codes), static_cast<int>(parts.size()),
+                        std::move(parts), exact};
+    }
+    // Find a colliding pair; add a separating requirement and re-solve.
+    bool collision = false;
+    for (int s = 0; s < table.num_states() && !collision; ++s) {
+      for (int t = s + 1; t < table.num_states() && !collision; ++t) {
+        if (codes[static_cast<std::size_t>(s)] == codes[static_cast<std::size_t>(t)]) {
+          dichotomies.push_back(
+              canonical(Dichotomy{StateSet{1} << s, StateSet{1} << t}));
+          collision = true;
+        }
+      }
+    }
+    if (!collision) {
+      return Assignment{std::move(codes), static_cast<int>(parts.size()),
+                        std::move(parts), exact};
+    }
+  }
+}
+
+bool verify_ustt(const FlowTable& table, const std::vector<std::uint32_t>& codes,
+                 int num_vars, bool require_unique, std::string* why) {
+  if (static_cast<int>(codes.size()) != table.num_states()) {
+    if (why != nullptr) *why = "code vector size mismatch";
+    return false;
+  }
+  if (require_unique) {
+    for (int s = 0; s < table.num_states(); ++s) {
+      for (int t = s + 1; t < table.num_states(); ++t) {
+        if (codes[static_cast<std::size_t>(s)] == codes[static_cast<std::size_t>(t)]) {
+          if (why != nullptr) {
+            *why = "states " + table.state_name(s) + " and " + table.state_name(t) +
+                   " share a code";
+          }
+          return false;
+        }
+      }
+    }
+  }
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::vector<std::pair<int, int>> ts;  // (src, dst)
+    for (int s = 0; s < table.num_states(); ++s) {
+      const Entry& e = table.entry(s, c);
+      if (e.specified()) ts.emplace_back(s, e.next);
+    }
+    for (StateSet parker : transient_parkers(table, c)) {
+      const int s = std::countr_zero(parker);
+      if (!table.entry(s, c).specified()) ts.emplace_back(s, s);
+    }
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      for (std::size_t j = i + 1; j < ts.size(); ++j) {
+        const auto [s1, d1] = ts[i];
+        const auto [s2, d2] = ts[j];
+        if (s1 == s2 || s1 == d2 || d1 == s2 || d1 == d2) continue;  // interacting
+        if (s1 == d1 && s2 == d2) continue;  // two parked states: no race
+        bool separated = false;
+        for (int v = 0; v < num_vars && !separated; ++v) {
+          const auto bit = [&](int s) {
+            return (codes[static_cast<std::size_t>(s)] >> v) & 1u;
+          };
+          separated = bit(s1) == bit(d1) && bit(s2) == bit(d2) && bit(s1) != bit(s2);
+        }
+        if (!separated) {
+          if (why != nullptr) {
+            *why = "column " + std::to_string(c) + ": transitions " +
+                   table.state_name(s1) + "->" + table.state_name(d1) + " and " +
+                   table.state_name(s2) + "->" + table.state_name(d2) +
+                   " are not separated";
+          }
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace seance::assign

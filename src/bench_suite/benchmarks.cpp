@@ -1,0 +1,264 @@
+#include "bench_suite/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "flowtable/kiss.hpp"
+
+namespace seance::bench_suite {
+
+namespace {
+
+// "Test example": a fully specified 4-state, 3-input table with dense
+// multiple-input-change transitions, in the style of the paper's running
+// example.  States share stable columns with conflicting outputs, so the
+// table is already minimal.
+constexpr const char* kTestExample = R"(.i 3
+.o 1
+.s 4
+.r A
+000 A A 0
+100 A A 1
+001 A A 0
+010 A C -
+110 A B -
+101 A D -
+011 A C -
+111 A D -
+100 B B 0
+110 B B 0
+111 B B 0
+000 B A -
+010 B C -
+001 B A -
+101 B D -
+011 B C -
+000 C C 1
+010 C C 0
+011 C C 1
+100 C A -
+110 C D -
+001 C A -
+101 C D -
+111 C D -
+110 D D 1
+101 D D 1
+111 D D 1
+000 D C -
+100 D B -
+010 D C -
+001 D A -
+011 D C -
+.e
+)";
+
+// Traffic-light controller: x0 = car on the farm road, x1 = interval timer
+// expired; z0 = highway green, z1 = farm-road green.  Both sensors may
+// flip in the same handshake (car arrives exactly when the timer fires) —
+// the motivating MIC scenario.
+constexpr const char* kTraffic = R"(.i 2
+.o 2
+.s 4
+.r HG
+00 HG HG 10
+10 HG HG 10
+01 HG HG 10
+11 HG HY 00
+11 HY HY 00
+10 HY FG 00
+01 HY HG 10
+00 HY FY 00
+10 FG FG 01
+11 FG HY 00
+00 FG FY 00
+01 FG HG 00
+00 FY FY 00
+01 FY HG 00
+10 FY FG 00
+11 FY HY 00
+.e
+)";
+
+// Lion-in-a-cage: two photo beams (x0 outer, x1 inner) across the cage
+// door; z = 1 while the lion is inside.  The lion may trip both beams at
+// once (MIC).  Incompletely specified: a lion outside cannot appear on
+// the inner beam alone.
+constexpr const char* kLion = R"(.i 2
+.o 1
+.s 4
+.r out
+00 out out 0
+10 out A 0
+11 out B 0
+10 A A 0
+11 A B 1
+01 A B 1
+00 A out 0
+01 B B 1
+11 B B 1
+10 B A 1
+00 B in 1
+00 in in 1
+01 in B 1
+11 in B 1
+10 in A 0
+.e
+)";
+
+// Lion in a nine-cell corridor with two interleaved sensor tracks; the
+// sensor pattern follows a Gray cycle along the corridor, and the lion
+// may jump a cell (opposite pattern = double input change).
+constexpr const char* kLion9 = R"(.i 2
+.o 1
+.s 9
+.r s0
+00 s0 s0 0
+10 s0 s1 -
+11 s0 s2 -
+10 s1 s1 0
+00 s1 s0 -
+11 s1 s2 -
+01 s1 s3 -
+11 s2 s2 0
+10 s2 s1 -
+01 s2 s3 -
+00 s2 s4 -
+01 s3 s3 0
+11 s3 s2 -
+00 s3 s4 -
+10 s3 s5 -
+00 s4 s4 1
+01 s4 s3 -
+10 s4 s5 -
+11 s4 s6 -
+10 s5 s5 1
+00 s5 s4 -
+11 s5 s6 -
+01 s5 s7 -
+11 s6 s6 1
+10 s6 s5 -
+01 s6 s7 -
+00 s6 s8 -
+01 s7 s7 1
+11 s7 s6 -
+00 s7 s8 -
+10 s7 s5 -
+00 s8 s8 1
+01 s8 s7 -
+11 s8 s6 -
+.e
+)";
+
+// Train detector over an eleven-section track with two sensor circuits;
+// z = 1 while any section is occupied.
+constexpr const char* kTrain11 = R"(.i 2
+.o 1
+.s 11
+.r t0
+00 t0 t0 0
+10 t0 t1 -
+11 t0 t2 -
+01 t0 t3 -
+10 t1 t1 1
+00 t1 t0 -
+11 t1 t2 -
+01 t1 t3 -
+11 t2 t2 1
+10 t2 t1 -
+01 t2 t3 -
+00 t2 t4 -
+01 t3 t3 1
+11 t3 t2 -
+00 t3 t4 -
+10 t3 t5 -
+00 t4 t4 1
+01 t4 t3 -
+10 t4 t5 -
+11 t4 t6 -
+10 t5 t5 1
+00 t5 t4 -
+11 t5 t6 -
+01 t5 t7 -
+11 t6 t6 1
+10 t6 t5 -
+01 t6 t7 -
+00 t6 t8 -
+01 t7 t7 1
+11 t7 t6 -
+00 t7 t8 -
+10 t7 t9 -
+00 t8 t8 1
+01 t8 t7 -
+10 t8 t9 -
+11 t8 t10 -
+10 t9 t9 1
+00 t9 t8 -
+11 t9 t10 -
+01 t9 t7 -
+11 t10 t10 1
+10 t10 t9 -
+01 t10 t7 -
+00 t10 t8 -
+.e
+)";
+
+// Four-section variant of the train detector.  All non-empty states are
+// behaviourally compatible: the minimizer collapses the table — a useful
+// degenerate regression case.
+constexpr const char* kTrain4 = R"(.i 2
+.o 1
+.s 4
+.r t0
+00 t0 t0 0
+10 t0 t1 -
+11 t0 t2 -
+01 t0 t3 -
+10 t1 t1 1
+00 t1 t0 -
+11 t1 t2 -
+01 t1 t3 -
+11 t2 t2 1
+10 t2 t1 -
+01 t2 t3 -
+00 t2 t0 -
+01 t3 t3 1
+11 t3 t2 -
+00 t3 t0 -
+10 t3 t1 -
+.e
+)";
+
+}  // namespace
+
+const std::vector<NamedBenchmark>& table1_suite() {
+  static const std::vector<NamedBenchmark> suite = {
+      {"test_example", kTestExample, 3, 5, 9},
+      {"traffic", kTraffic, 3, 5, 9},
+      {"lion", kLion, 3, 5, 9},
+      {"lion9", kLion9, 4, 5, 10},
+      {"train11", kTrain11, 2, 5, 8},
+  };
+  return suite;
+}
+
+const std::vector<NamedBenchmark>& extra_suite() {
+  static const std::vector<NamedBenchmark> suite = {
+      {"train4", kTrain4, -1, -1, -1},
+  };
+  return suite;
+}
+
+flowtable::FlowTable load(const NamedBenchmark& bench) {
+  return flowtable::parse_kiss2(bench.kiss2);
+}
+
+const NamedBenchmark& by_name(const std::string& name) {
+  for (const NamedBenchmark& b : table1_suite()) {
+    if (b.name == name) return b;
+  }
+  for (const NamedBenchmark& b : extra_suite()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace seance::bench_suite

@@ -1,0 +1,43 @@
+// The benchmark suite of the paper's Table 1.
+//
+// The paper evaluates SEANCE on the MCNC FSM benchmark set [11]: a "test
+// example", traffic, lion, lion9 and train11.  The original .kiss2 files
+// are not redistributable here, so this module ships *reconstructions*
+// with the documented dimensions and the classic sensor semantics of the
+// originals (lion: a lion crossing a two-beam cage door; lion9/train11:
+// position tracking along a sensor corridor; traffic: a two-sensor
+// intersection controller).  Each table is normal-mode, strongly
+// connected, and rich in multiple-input-change transitions — the property
+// Table 1's depth numbers actually depend on.  See DESIGN.md §4.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flowtable/table.hpp"
+
+namespace seance::bench_suite {
+
+struct NamedBenchmark {
+  std::string name;
+  std::string kiss2;  ///< KISS2 source text
+  /// Paper Table 1 reference values (-1 where the paper lists none).
+  int paper_fsv_depth = -1;
+  int paper_y_depth = -1;
+  int paper_total_depth = -1;
+};
+
+/// The five benchmarks of the paper's Table 1, in paper order.
+[[nodiscard]] const std::vector<NamedBenchmark>& table1_suite();
+
+/// Additional regression benchmarks (train4 and friends).
+[[nodiscard]] const std::vector<NamedBenchmark>& extra_suite();
+
+/// Parses one benchmark's KISS2 text into a flow table.
+[[nodiscard]] flowtable::FlowTable load(const NamedBenchmark& bench);
+
+/// Finds a benchmark by name in either suite; throws if unknown.
+[[nodiscard]] const NamedBenchmark& by_name(const std::string& name);
+
+}  // namespace seance::bench_suite

@@ -1,0 +1,100 @@
+#include "bench_suite/generator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace seance::bench_suite {
+
+using flowtable::FlowTable;
+
+FlowTable generate(const GeneratorOptions& options) {
+  if (options.num_states < 1 || options.num_inputs < 1 || options.num_outputs < 0) {
+    throw std::invalid_argument("generate: bad parameters");
+  }
+  const int n = options.num_states;
+  const int columns = 1 << options.num_inputs;
+  std::mt19937_64 rng(options.seed);
+  const auto rand_int = [&](int bound) {
+    return static_cast<int>(rng() % static_cast<std::uint64_t>(bound));
+  };
+  const auto rand_real = [&] {
+    return static_cast<double>(rng() % 1'000'000) / 1'000'000.0;
+  };
+
+  FlowTable table(options.num_inputs, options.num_outputs, n);
+
+  // 1. Stable columns: each state gets one home column, sometimes two.
+  std::vector<std::vector<int>> stable_of(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> states_at(static_cast<std::size_t>(columns));
+  const auto make_stable = [&](int s, int c) {
+    stable_of[static_cast<std::size_t>(s)].push_back(c);
+    states_at[static_cast<std::size_t>(c)].push_back(s);
+    std::string out;
+    for (int k = 0; k < options.num_outputs; ++k) out += (rng() & 1) ? '1' : '0';
+    table.set(s, c, s, out);
+  };
+  for (int s = 0; s < n; ++s) {
+    make_stable(s, rand_int(columns));
+    if (columns > 1 && rand_real() < 0.3) {
+      const int extra = rand_int(columns);
+      if (!table.entry(s, extra).specified()) make_stable(s, extra);
+    }
+  }
+
+  // 2. Connectivity: a random cycle through all states; each hop uses a
+  // stable column of the successor.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  for (int i = 0; i < n && n > 1; ++i) {
+    const int from = order[static_cast<std::size_t>(i)];
+    const int to = order[static_cast<std::size_t>((i + 1) % n)];
+    bool linked = false;
+    for (int c : stable_of[static_cast<std::size_t>(to)]) {
+      if (!table.entry(from, c).specified()) {
+        table.set(from, c, to);
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) {
+      // Give the successor a fresh stable column reachable from `from`.
+      for (int c = 0; c < columns && !linked; ++c) {
+        if (!table.entry(to, c).specified() && !table.entry(from, c).specified()) {
+          make_stable(to, c);
+          table.set(from, c, to);
+          linked = true;
+        }
+      }
+    }
+    if (!linked) {
+      throw std::invalid_argument("generate: cannot build connected table; "
+                                  "too many states for too few columns");
+    }
+  }
+
+  // 3. Extra transitions with MIC bias.
+  for (int s = 0; s < n; ++s) {
+    for (int c = 0; c < columns; ++c) {
+      if (table.entry(s, c).specified()) continue;
+      if (states_at[static_cast<std::size_t>(c)].empty()) continue;
+      int distance = options.num_inputs + 1;
+      for (int home : stable_of[static_cast<std::size_t>(s)]) {
+        distance = std::min(
+            distance, std::popcount(static_cast<unsigned>(home) ^ static_cast<unsigned>(c)));
+      }
+      double p = options.transition_density;
+      p *= (distance > 1) ? (0.5 + options.mic_bias) : (1.5 - options.mic_bias);
+      if (rand_real() >= std::clamp(p, 0.0, 1.0)) continue;
+      const auto& targets = states_at[static_cast<std::size_t>(c)];
+      table.set(s, c, targets[static_cast<std::size_t>(rand_int(
+                           static_cast<int>(targets.size())))]);
+    }
+  }
+  return table;
+}
+
+}  // namespace seance::bench_suite

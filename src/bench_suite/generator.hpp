@@ -1,0 +1,40 @@
+// Synthetic normal-mode flow-table generator.
+//
+// Drives the scaling and ablation experiments (DESIGN.md F3/F4/A1): the
+// paper's suite tops out at eleven rows, so parameter sweeps over state
+// count, input width and MIC density need machine-generated workloads.
+// Construction guarantees the properties SEANCE assumes: every state owns
+// at least one stable column, every transition targets a state stable in
+// its column (normal mode), and the stable-state graph is strongly
+// connected.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "flowtable/table.hpp"
+
+namespace seance::bench_suite {
+
+struct GeneratorOptions {
+  int num_states = 6;
+  int num_inputs = 3;
+  int num_outputs = 2;
+  /// Fraction of the remaining (state, column) entries that get a
+  /// transition, beyond the spanning cycle that guarantees connectivity.
+  double transition_density = 0.5;
+  /// When choosing a target column for extra transitions, the probability
+  /// of picking one at input Hamming distance > 1 from a stable column of
+  /// the source row (MIC pressure).
+  double mic_bias = 0.7;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a table satisfying the invariants above.  Throws
+/// std::invalid_argument for infeasible parameters (more states than
+/// 2^inputs columns can make distinct behaviours is fine; zero states or
+/// inputs is not).
+[[nodiscard]] flowtable::FlowTable generate(const GeneratorOptions& options);
+
+}  // namespace seance::bench_suite

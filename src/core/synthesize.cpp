@@ -1,0 +1,400 @@
+#include "core/synthesize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "hazard/factor.hpp"
+#include "logic/ternary.hpp"
+
+namespace seance::core {
+
+using flowtable::Entry;
+using flowtable::FlowTable;
+using flowtable::Trit;
+using logic::Cover;
+using logic::Minterm;
+
+std::vector<std::string> VariableLayout::names() const {
+  std::vector<std::string> result;
+  for (int i = 0; i < num_inputs; ++i) result.push_back("x" + std::to_string(i));
+  for (int n = 0; n < num_state_vars; ++n) result.push_back("y" + std::to_string(n));
+  if (has_fsv) result.push_back("fsv");
+  return result;
+}
+
+namespace {
+
+/// Incremental 0/1 specification of a Boolean function with conflict
+/// detection; unassigned minterms are don't-cares.
+class SpecMap {
+ public:
+  explicit SpecMap(std::vector<std::string>* warnings) : warnings_(warnings) {}
+
+  void set(Minterm m, bool value, bool forced, const char* context) {
+    const auto it = values_.find(m);
+    if (it == values_.end()) {
+      values_.emplace(m, Slot{value, forced});
+      return;
+    }
+    Slot& slot = it->second;
+    if (slot.value == value) {
+      slot.forced = slot.forced || forced;
+      return;
+    }
+    // Conflict.  Forced (hazard-hold) values win; report once.
+    if (warnings_ != nullptr) {
+      warnings_->push_back(std::string("specification conflict (") + context +
+                           ") at minterm " + std::to_string(m));
+    }
+    if (forced && !slot.forced) {
+      slot.value = value;
+      slot.forced = true;
+    }
+  }
+
+  [[nodiscard]] std::vector<Minterm> on_set() const {
+    std::vector<Minterm> on;
+    for (const auto& [m, slot] : values_) {
+      if (slot.value) on.push_back(m);
+    }
+    std::sort(on.begin(), on.end());
+    return on;
+  }
+
+  [[nodiscard]] std::vector<Minterm> dc_set(int num_vars) const {
+    std::vector<Minterm> dc;
+    const std::uint32_t space_size = 1u << num_vars;
+    for (Minterm m = 0; m < space_size; ++m) {
+      if (!values_.contains(m)) dc.push_back(m);
+    }
+    return dc;
+  }
+
+ private:
+  struct Slot {
+    bool value;
+    bool forced;
+  };
+  std::unordered_map<Minterm, Slot> values_;
+  std::vector<std::string>* warnings_;
+};
+
+/// Visits every y' in the transition sub-cube spanned by two codes.
+template <typename Fn>
+void for_each_cube_point(std::uint32_t code_from, std::uint32_t code_to, Fn&& fn) {
+  const std::uint32_t diff = code_from ^ code_to;
+  std::uint32_t sub = 0;
+  while (true) {
+    fn(code_from ^ sub);
+    if (sub == diff) break;
+    sub = (sub - diff) & diff;
+  }
+}
+
+bool in_list(const std::vector<hazard::TotalState>& sorted_list, int column, int state) {
+  const hazard::TotalState key{column, state};
+  return std::binary_search(sorted_list.begin(), sorted_list.end(), key);
+}
+
+}  // namespace
+
+FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options) {
+  FantomMachine machine;
+  machine.options = options;
+
+  // ---- Step 1: flow-table preparation -------------------------------
+  FlowTable prepared = input;
+  if (!prepared.is_normal_mode()) {
+    prepared.normalize_to_normal_mode();
+    machine.warnings.push_back("input table normalized to normal mode");
+  }
+  std::string why;
+  if (!prepared.is_strongly_connected(&why)) {
+    machine.warnings.push_back("table not strongly connected: " + why);
+  }
+  if (!prepared.every_state_has_stable(&why)) {
+    throw std::runtime_error("synthesize: " + why);
+  }
+
+  // ---- Step 2: table reduction ---------------------------------------
+  if (options.minimize_states && prepared.num_states() > 1) {
+    minimize::ReductionResult reduction = minimize::reduce(prepared, options.reduce);
+    machine.table = reduction.reduced;
+    machine.reduction = std::move(reduction);
+  } else {
+    machine.table = prepared;
+  }
+  const FlowTable& table = machine.table;
+
+  // ---- Step 3: USTT state assignment ---------------------------------
+  assign::Assignment assignment = assign::assign_ustt(table, options.assign);
+  if (!assign::verify_ustt(table, assignment.codes, assignment.num_vars, true, &why)) {
+    throw std::logic_error("synthesize: USTT verification failed: " + why);
+  }
+  machine.codes = assignment.codes;
+  machine.layout = VariableLayout{table.num_inputs(), assignment.num_vars, options.add_fsv};
+  const VariableLayout& layout = machine.layout;
+  if (layout.y_space_vars() > logic::kMaxVars) {
+    throw std::runtime_error("synthesize: equation space exceeds variable limit");
+  }
+
+  // ---- Step 5: hazard search (needed before step 4's SSD off-set and
+  //      the step 6 equations; SEANCE interleaves these freely) ---------
+  hazard::EncodedTable encoded{&table, machine.codes, layout.num_state_vars};
+  machine.hazards = hazard::find_hazards(encoded);
+
+  const auto code_of = [&](int s) { return machine.codes[static_cast<std::size_t>(s)]; };
+
+  // ---- Step 4: Z and SSD equations over (x, y) ------------------------
+  for (int k = 0; k < table.num_outputs(); ++k) {
+    SpecMap spec(&machine.warnings);
+    for (int s = 0; s < table.num_states(); ++s) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        if (!table.is_stable(s, c)) continue;
+        const Trit t = table.entry(s, c).outputs[static_cast<std::size_t>(k)];
+        if (t == Trit::kDC) continue;
+        spec.set(layout.xy_minterm(c, code_of(s)), t == Trit::k1, false, "Z");
+      }
+    }
+    const auto on = spec.on_set();
+    const auto dc = spec.dc_set(layout.xy_vars());
+    Equation eq(select_cover(layout.xy_vars(), on, dc, options.cover_mode));
+    eq.expr = logic::first_level_sop_expr(eq.cover);
+    machine.z.push_back(std::move(eq));
+  }
+
+  {
+    SpecMap spec(&machine.warnings);
+    for (int s = 0; s < table.num_states(); ++s) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        const Entry& e = table.entry(s, c);
+        if (e.specified()) {
+          // Parked point: SSD is 1 exactly at stable total states (y == Y
+          // for the original next-state function).
+          spec.set(layout.xy_minterm(c, code_of(s)), e.next == s, false, "SSD");
+          // In-flight points of the transition cube are unstable.
+          if (e.next != s) {
+            for_each_cube_point(code_of(s), code_of(e.next), [&](std::uint32_t y) {
+              if (y != code_of(e.next)) {
+                spec.set(layout.xy_minterm(c, y), false, false, "SSD");
+              }
+            });
+          }
+        }
+      }
+    }
+    const auto on = spec.on_set();
+    const auto dc = spec.dc_set(layout.xy_vars());
+    machine.ssd = Equation(select_cover(layout.xy_vars(), on, dc, options.cover_mode));
+    machine.ssd.expr = logic::first_level_sop_expr(machine.ssd.cover);
+  }
+
+  // ---- Step 6: fsv equation (ON exactly on FL; paper notes fsv is not a
+  //      function of itself) -------------------------------------------
+  if (options.add_fsv) {
+    std::vector<Minterm> on;
+    for (const hazard::TotalState& t : machine.hazards.fl) {
+      on.push_back(layout.xy_minterm(t.column, code_of(t.state)));
+    }
+    // Step 7 for fsv: all prime implicants, first-level gates.
+    machine.fsv = Equation(logic::all_primes_cover(layout.xy_vars(), on, {}));
+    machine.fsv.expr = hazard::fsv_expression(machine.fsv.cover);
+  } else {
+    machine.fsv = Equation(Cover(layout.xy_vars()));
+    machine.fsv.expr = logic::Expr::constant(false);
+  }
+
+  // ---- Step 6: Y equations over (x, y[, fsv]) -------------------------
+  const std::uint32_t fsv_bit =
+      options.add_fsv ? (1u << layout.fsv_var()) : 0u;
+  for (int n = 0; n < layout.num_state_vars; ++n) {
+    SpecMap spec(&machine.warnings);
+    const std::uint32_t n_bit = 1u << n;
+    for (int s = 0; s < table.num_states(); ++s) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        const Entry& e = table.entry(s, c);
+        if (e.specified()) {
+          const int d = e.next;
+          const bool hazard_hold =
+              options.add_fsv &&
+              in_list(machine.hazards.per_var[static_cast<std::size_t>(n)], c, s);
+          for_each_cube_point(code_of(s), code_of(d), [&](std::uint32_t y) {
+            const Minterm base = layout.xy_minterm(c, y);
+            const bool launch_value = (code_of(d) & n_bit) != 0;
+            // fsv = 1 half: the original function (launch).
+            if (options.add_fsv) {
+              spec.set(base | fsv_bit, launch_value, false, "Y fsv=1");
+            }
+            // fsv = 0 half: hold the invariant bit at the parked point of a
+            // hazard-listed entry; the original function elsewhere.
+            const bool parked = (y == code_of(s));
+            const bool value = (hazard_hold && parked) ? ((code_of(s) & n_bit) != 0)
+                                                       : launch_value;
+            spec.set(base, value, hazard_hold && parked, "Y fsv=0");
+          });
+        } else if (options.add_fsv &&
+                   in_list(machine.hazards.hold_filled, c, s)) {
+          // Unspecified entry visited as a MIC intermediate: fill to hold
+          // the present state in both half-spaces (paper §5.3 semantics).
+          const Minterm base = layout.xy_minterm(c, code_of(s));
+          const bool hold_value = (code_of(s) & n_bit) != 0;
+          spec.set(base, hold_value, true, "Y hold-fill");
+          spec.set(base | fsv_bit, hold_value, true, "Y hold-fill");
+        }
+      }
+    }
+    const auto on = spec.on_set();
+    const auto dc = spec.dc_set(layout.y_space_vars());
+    Equation eq(select_cover(layout.y_space_vars(), on, dc, options.cover_mode));
+    if (options.consensus_repair) {
+      (void)logic::make_sic_static1_hazard_free(eq.cover);
+    }
+    // ---- Step 7: hazard factoring ------------------------------------
+    eq.expr = options.factor ? hazard::factor_next_state(eq.cover, layout.state_var(n))
+                             : logic::sop_expr(eq.cover);
+    machine.y.push_back(std::move(eq));
+  }
+
+  return machine;
+}
+
+DepthReport FantomMachine::depth_report() const {
+  DepthReport report;
+  report.fsv_depth = fsv.expr ? fsv.expr->depth() : 0;
+  for (const Equation& eq : y) {
+    report.y_depth = std::max(report.y_depth, eq.expr->depth());
+  }
+  report.total_depth = report.fsv_depth + report.y_depth + 1;
+  return report;
+}
+
+int FantomMachine::gate_count() const {
+  int total = fsv.expr ? fsv.expr->gate_count() : 0;
+  if (ssd.expr) total += ssd.expr->gate_count();
+  for (const Equation& eq : y) total += eq.expr->gate_count();
+  for (const Equation& eq : z) total += eq.expr->gate_count();
+  return total;
+}
+
+std::string FantomMachine::report() const {
+  std::ostringstream out;
+  const std::vector<std::string> names = layout.names();
+  out << "FANTOM machine: " << table.num_states() << " states, "
+      << layout.num_inputs << " inputs, " << table.num_outputs() << " outputs, "
+      << layout.num_state_vars << " state variables\n";
+  out << "codes:";
+  for (int s = 0; s < table.num_states(); ++s) {
+    out << " " << table.state_name(s) << "=";
+    for (int v = 0; v < layout.num_state_vars; ++v) {
+      out << ((codes[static_cast<std::size_t>(s)] >> v) & 1u);
+    }
+  }
+  out << "\n";
+  for (std::size_t n = 0; n < y.size(); ++n) {
+    out << "Y" << n << " = " << y[n].expr->to_string(names) << "\n";
+  }
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    out << "Z" << k << " = " << z[k].expr->to_string(names) << "\n";
+  }
+  out << "SSD = " << ssd.expr->to_string(names) << "\n";
+  out << "fsv = " << fsv.expr->to_string(names) << "\n";
+  const DepthReport depths = depth_report();
+  out << "depths: fsv=" << depths.fsv_depth << " Y=" << depths.y_depth
+      << " total=" << depths.total_depth << "\n";
+  out << "hazard states: " << hazards.fl.size() << "\n";
+  for (const std::string& w : warnings) out << "warning: " << w << "\n";
+  return out.str();
+}
+
+bool verify_equations(const FantomMachine& machine, std::string* why) {
+  const FlowTable& table = machine.table;
+  const VariableLayout& layout = machine.layout;
+  const auto code_of = [&](int s) {
+    return machine.codes[static_cast<std::size_t>(s)];
+  };
+  const std::uint32_t fsv_bit =
+      machine.options.add_fsv ? (1u << layout.fsv_var()) : 0u;
+  const auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      const Entry& e = table.entry(s, c);
+      if (!e.specified()) continue;
+      const int d = e.next;
+      for (int n = 0; n < layout.num_state_vars; ++n) {
+        const std::uint32_t n_bit = 1u << n;
+        const bool hazard_hold =
+            machine.options.add_fsv &&
+            in_list(machine.hazards.per_var[static_cast<std::size_t>(n)], c, s);
+        bool ok = true;
+        for_each_cube_point(code_of(s), code_of(d), [&](std::uint32_t y) {
+          const Minterm base = layout.xy_minterm(c, y);
+          const bool launch = (code_of(d) & n_bit) != 0;
+          if (machine.options.add_fsv &&
+              machine.y[static_cast<std::size_t>(n)].cover.eval(base | fsv_bit) != launch) {
+            ok = false;
+          }
+          const bool parked = (y == code_of(s));
+          const bool expected = (hazard_hold && parked) ? ((code_of(s) & n_bit) != 0)
+                                                        : launch;
+          if (machine.y[static_cast<std::size_t>(n)].cover.eval(base) != expected) {
+            ok = false;
+          }
+          // The factored expression must agree with the cover everywhere.
+          if (machine.y[static_cast<std::size_t>(n)].expr->eval(base) !=
+              machine.y[static_cast<std::size_t>(n)].cover.eval(base)) {
+            ok = false;
+          }
+        });
+        if (!ok) {
+          return fail("Y" + std::to_string(n) + " wrong on transition (" +
+                      table.state_name(s) + ", col " + std::to_string(c) + ")");
+        }
+      }
+      // Z and SSD at parked/stable points.
+      if (e.next == s) {
+        const Minterm parked = layout.xy_minterm(c, code_of(s));
+        for (int k = 0; k < table.num_outputs(); ++k) {
+          const Trit t = e.outputs[static_cast<std::size_t>(k)];
+          if (t == Trit::kDC) continue;
+          if (machine.z[static_cast<std::size_t>(k)].cover.eval(parked) !=
+              (t == Trit::k1)) {
+            return fail("Z" + std::to_string(k) + " wrong at stable (" +
+                        table.state_name(s) + ", col " + std::to_string(c) + ")");
+          }
+        }
+        if (!machine.ssd.cover.eval(parked)) {
+          return fail("SSD not asserted at stable (" + table.state_name(s) +
+                      ", col " + std::to_string(c) + ")");
+        }
+      } else {
+        const Minterm parked = layout.xy_minterm(c, code_of(s));
+        if (machine.ssd.cover.eval(parked)) {
+          return fail("SSD asserted at unstable (" + table.state_name(s) +
+                      ", col " + std::to_string(c) + ")");
+        }
+      }
+    }
+  }
+  // fsv asserts exactly on FL points over valid codes.
+  if (machine.options.add_fsv) {
+    for (int s = 0; s < table.num_states(); ++s) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        const bool expected = in_list(machine.hazards.fl, c, s);
+        if (machine.fsv.cover.eval(layout.xy_minterm(c, code_of(s))) != expected) {
+          return fail("fsv wrong at (" + table.state_name(s) + ", col " +
+                      std::to_string(c) + ")");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace seance::core

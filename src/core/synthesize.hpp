@@ -1,0 +1,127 @@
+// SEANCE — the paper's synthesis program (Fig. 3), end to end.
+//
+//   1. flow-table preparation (validation / normal-mode normalization)
+//   2. table reduction (state minimization)                  src/minimize
+//   3. USTT state assignment (Tracey partitions)             src/assign
+//   4. Z and SSD equations (Quine-McCluskey essential SOP)   src/logic
+//   5. function-hazard search (Fig. 4)                       src/hazard
+//   6. canonical fsv and Y equations (state space doubled)
+//   7. hazard factoring (Fig. 5) and first-level-gate expansion
+//
+// The result is a FantomMachine: every combinational equation of the
+// FANTOM architecture (Fig. 1/2) plus the hazard lists and the depth
+// metrics reported in the paper's Table 1.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assign/ustt.hpp"
+#include "flowtable/table.hpp"
+#include "hazard/search.hpp"
+#include "logic/cube.hpp"
+#include "logic/expr.hpp"
+#include "logic/qm.hpp"
+#include "minimize/reduce.hpp"
+
+namespace seance::core {
+
+/// Variable numbering shared by all equation covers:
+/// inputs x0..x_{j-1} first, then state variables y0..y_{n-1}, then
+/// (for Y equations of a protected machine) fsv as the last variable.
+struct VariableLayout {
+  int num_inputs = 0;
+  int num_state_vars = 0;
+  bool has_fsv = true;
+
+  [[nodiscard]] int input_var(int i) const { return i; }
+  [[nodiscard]] int state_var(int n) const { return num_inputs + n; }
+  [[nodiscard]] int fsv_var() const { return num_inputs + num_state_vars; }
+  /// Variable count of the (x, y) space used by Z, SSD and fsv covers.
+  [[nodiscard]] int xy_vars() const { return num_inputs + num_state_vars; }
+  /// Variable count of the Y-equation space (adds fsv when protected).
+  [[nodiscard]] int y_space_vars() const { return xy_vars() + (has_fsv ? 1 : 0); }
+  /// Minterm of the (x, y) space.
+  [[nodiscard]] std::uint32_t xy_minterm(int column, std::uint32_t y_code) const {
+    return static_cast<std::uint32_t>(column) | (y_code << num_inputs);
+  }
+  /// Printable names: x0.., y0.., fsv.
+  [[nodiscard]] std::vector<std::string> names() const;
+};
+
+struct Equation {
+  logic::Cover cover;   ///< reduced SOP cover
+  logic::ExprPtr expr;  ///< factored gate network (step 7)
+
+  Equation() : cover(0) {}
+  explicit Equation(logic::Cover c) : cover(std::move(c)) {}
+};
+
+struct SynthesisOptions {
+  /// Step 2 on/off (off keeps the input rows verbatim).
+  bool minimize_states = true;
+  /// Add the fantom state variable and hazard protection.  Disabling
+  /// yields the *baseline* classic USTT machine used by the ablation
+  /// benches — functionally the paper's comparison point.
+  bool add_fsv = true;
+  /// Step 7 factoring on/off (off leaves two-level SOP expressions).
+  bool factor = true;
+  /// Consensus-gate repair of the Y covers (paper §2.1): add implicants
+  /// until every single-variable move inside a Y ON-set is covered by one
+  /// cube, removing static (steady-state) hazards in the feedback logic.
+  /// Independent of add_fsv so ablations can isolate fsv's contribution
+  /// (function M-hazards) from classic consensus fixes (logic hazards).
+  bool consensus_repair = true;
+  /// Cover policy for Y/Z/SSD (fsv always uses all primes when enabled).
+  logic::CoverMode cover_mode = logic::CoverMode::kEssentialSop;
+  assign::AssignOptions assign;
+  minimize::ReduceOptions reduce;
+};
+
+/// Paper Table 1 metrics.
+struct DepthReport {
+  int fsv_depth = 0;
+  int y_depth = 0;
+  /// Worst-case levels to reach stability (VOM assertion):
+  /// y_depth + fsv_depth + 1 (gate A of Fig. 2).
+  int total_depth = 0;
+};
+
+struct FantomMachine {
+  flowtable::FlowTable table;  ///< the synthesized (possibly reduced) table
+  std::vector<std::uint32_t> codes;
+  VariableLayout layout;
+  std::vector<Equation> y;  ///< per state variable, over the y-space
+  std::vector<Equation> z;  ///< per output, over (x, y)
+  Equation ssd;             ///< over (x, y)
+  Equation fsv;             ///< over (x, y); constant 0 for baselines
+  hazard::HazardLists hazards;
+  std::optional<minimize::ReductionResult> reduction;  ///< step 2 details
+  std::vector<std::string> warnings;
+  SynthesisOptions options;
+
+  FantomMachine() : table(1, 0, 1) {}
+
+  [[nodiscard]] DepthReport depth_report() const;
+  /// Total gate count over fsv + Y + Z + SSD expressions.
+  [[nodiscard]] int gate_count() const;
+  /// Human-readable equation dump.
+  [[nodiscard]] std::string report() const;
+};
+
+/// Runs the full SEANCE pipeline.  The input table is normalized to
+/// normal mode if needed; throws std::runtime_error when the table cannot
+/// be repaired (e.g. transition cycles) or exceeds size limits.
+[[nodiscard]] FantomMachine synthesize(const flowtable::FlowTable& input,
+                                       const SynthesisOptions& options = {});
+
+/// Functional cross-checks used by tests and the verification harness.
+/// True iff the machine's Y covers reproduce the flow-table transition
+/// function in the fsv=1 half-space (launch semantics) and hold invariant
+/// bits at every hazard-listed point in the fsv=0 half-space.
+[[nodiscard]] bool verify_equations(const FantomMachine& machine, std::string* why = nullptr);
+
+}  // namespace seance::core

@@ -1,0 +1,35 @@
+// KISS2 reader/writer for flow tables.
+//
+// The MCNC FSM benchmark set [11] is distributed in KISS2 format
+// (`.i/.o/.s/.p/.r` headers followed by `input current next output`
+// product lines).  For asynchronous synthesis the table is read as a
+// Huffman flow table: a product line whose next state equals its current
+// state defines a stable total state.  `-` input characters expand to all
+// matching columns; `-` output characters are don't-cares.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "flowtable/table.hpp"
+
+namespace seance::flowtable {
+
+struct KissInfo {
+  int declared_products = -1;  ///< .p value, -1 if absent
+  std::string reset_state;     ///< .r value, empty if absent
+};
+
+/// Parses KISS2 text.  Throws std::runtime_error with a line-numbered
+/// message on malformed input or conflicting entries.
+[[nodiscard]] FlowTable parse_kiss2(std::string_view text, KissInfo* info = nullptr);
+
+/// Serializes a flow table to KISS2 (one line per specified entry; stable
+/// entries appear as self-loops).
+[[nodiscard]] std::string to_kiss2(const FlowTable& table);
+
+/// Reads a KISS2 file from disk.
+[[nodiscard]] FlowTable load_kiss2_file(const std::string& path, KissInfo* info = nullptr);
+
+}  // namespace seance::flowtable

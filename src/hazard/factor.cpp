@@ -1,0 +1,47 @@
+#include "hazard/factor.hpp"
+
+#include <vector>
+
+namespace seance::hazard {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Expr;
+using logic::ExprPtr;
+
+ExprPtr fsv_expression(const Cover& all_primes) {
+  return logic::first_level_sop_expr(all_primes);
+}
+
+ExprPtr factor_next_state(const Cover& cover, int y_var) {
+  const std::uint32_t y_bit = 1u << y_var;
+  std::vector<ExprPtr> excitation_terms;
+  std::vector<ExprPtr> hold_terms;  // R_i products (y_i stripped)
+  for (const Cube& c : cover.cubes()) {
+    const bool has_y = (c.care() & y_bit) != 0;
+    const bool y_positive = has_y && (c.value() & y_bit) != 0;
+    if (y_positive) {
+      // Strip the y_i literal; the residue joins R_i.
+      Cube residue(c.num_vars(), c.care() & ~y_bit, c.value() & ~y_bit);
+      hold_terms.push_back(logic::first_level_product(residue));
+    } else {
+      excitation_terms.push_back(logic::first_level_product(c));
+    }
+  }
+  if (hold_terms.empty()) return Expr::make_or(std::move(excitation_terms));
+  ExprPtr r = Expr::make_or(std::move(hold_terms));
+  ExprPtr hold = Expr::make_and({Expr::var(y_var), std::move(r)});
+  excitation_terms.push_back(std::move(hold));
+  return Expr::make_or(std::move(excitation_terms));
+}
+
+FactoredEquation summarize(const ExprPtr& expr) {
+  FactoredEquation eq;
+  eq.expr = expr;
+  eq.depth = expr->depth();
+  eq.gates = expr->gate_count();
+  eq.literals = expr->literal_count();
+  return eq;
+}
+
+}  // namespace seance::hazard

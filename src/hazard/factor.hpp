@@ -1,0 +1,40 @@
+// Hazard factoring — the paper's step 7 (Fig. 5).
+//
+// fsv: reduced to *all* of its prime implicants (logic-hazard-free for
+// single-variable moves), then expanded so that only true variables feed
+// first-level gates: products with complemented literals become AND-NOR.
+//
+// Y_i: the essential SOP is split into *hold* terms (containing the
+// positive feedback literal y_i) and *excitation* terms.  Hold terms are
+// factored as  y_i * R_i  with R_i an OR of first-level-gate products —
+// the special sub-cube factorization of Armstrong/Hackbart-Dietmeyer that
+// keeps the feedback path free of delay and combinational hazards.  The
+// longest resulting path, NOR -> AND -> OR -> AND(y_i) -> OR, is five gate
+// levels: exactly the constant "X Depth = 5" column of the paper's
+// Table 1.
+
+#pragma once
+
+#include "logic/cube.hpp"
+#include "logic/expr.hpp"
+
+namespace seance::hazard {
+
+/// First-level-gate expression for the fsv cover (all primes expected).
+[[nodiscard]] logic::ExprPtr fsv_expression(const logic::Cover& all_primes);
+
+/// Factored next-state expression for state variable with global variable
+/// index `y_var` in the equation space of `cover`.
+[[nodiscard]] logic::ExprPtr factor_next_state(const logic::Cover& cover, int y_var);
+
+/// Result bundle for reporting.
+struct FactoredEquation {
+  logic::ExprPtr expr;
+  int depth = 0;
+  int gates = 0;
+  int literals = 0;
+};
+
+[[nodiscard]] FactoredEquation summarize(const logic::ExprPtr& expr);
+
+}  // namespace seance::hazard

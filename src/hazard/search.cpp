@@ -1,0 +1,114 @@
+#include "hazard/search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace seance::hazard {
+
+using flowtable::Entry;
+using flowtable::FlowTable;
+
+namespace {
+
+void sort_unique(std::vector<TotalState>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+std::vector<int> notinvariant(const EncodedTable& encoded, int state_a,
+                              int state_b, int intermediate_column) {
+  const FlowTable& table = *encoded.table;
+  std::vector<int> hits;
+  const Entry& mid = table.entry(state_a, intermediate_column);
+  if (!mid.specified()) return hits;  // filled to hold: cannot disturb
+  const std::uint32_t code_a = encoded.codes[static_cast<std::size_t>(state_a)];
+  const std::uint32_t code_b = encoded.codes[static_cast<std::size_t>(state_b)];
+  const std::uint32_t code_mid = encoded.codes[static_cast<std::size_t>(mid.next)];
+  const std::uint32_t invariant = ~(code_a ^ code_b);  // bits that must hold
+  const std::uint32_t disturbed = (code_a ^ code_mid) & invariant;
+  for (int n = 0; n < encoded.num_state_vars; ++n) {
+    if (disturbed & (1u << n)) hits.push_back(n);
+  }
+  return hits;
+}
+
+HazardLists find_hazards(const EncodedTable& encoded) {
+  const FlowTable& table = *encoded.table;
+  if (encoded.table == nullptr) throw std::invalid_argument("find_hazards: null table");
+  if (static_cast<int>(encoded.codes.size()) != table.num_states()) {
+    throw std::invalid_argument("find_hazards: code vector size mismatch");
+  }
+  HazardLists lists;
+  lists.per_var.resize(static_cast<std::size_t>(encoded.num_state_vars));
+
+  for (int s_a = 0; s_a < table.num_states(); ++s_a) {
+    for (const int col_a : table.stable_columns(s_a)) {
+      for (int col_b = 0; col_b < table.num_columns(); ++col_b) {
+        if (col_b == col_a) continue;
+        const Entry& target = table.entry(s_a, col_b);
+        if (!target.specified()) continue;
+        ++lists.stats.stable_transitions;
+        const std::uint32_t diff =
+            static_cast<std::uint32_t>(col_a) ^ static_cast<std::uint32_t>(col_b);
+        if (std::popcount(diff) <= 1) continue;
+        ++lists.stats.mic_transitions;
+        const int s_b = target.next;
+
+        // Walk every x^k strictly inside the transition sub-cube: flip a
+        // proper non-empty subset of the differing bits.
+        for (std::uint32_t sub = (diff - 1) & diff; sub != 0; sub = (sub - 1) & diff) {
+          const int col_k = static_cast<int>(static_cast<std::uint32_t>(col_a) ^ sub);
+          ++lists.stats.intermediate_points;
+          const Entry& mid = table.entry(s_a, col_k);
+          if (!mid.specified()) {
+            lists.hold_filled.push_back(TotalState{col_k, s_a});
+            continue;
+          }
+          const std::vector<int> vars = notinvariant(encoded, s_a, s_b, col_k);
+          if (vars.empty()) continue;
+          lists.stats.hazard_hits += vars.size();
+          for (int n : vars) {
+            lists.per_var[static_cast<std::size_t>(n)].push_back(TotalState{col_k, s_a});
+          }
+          lists.fl.push_back(TotalState{col_k, s_a});
+        }
+      }
+    }
+  }
+  for (auto& hl : lists.per_var) sort_unique(hl);
+  sort_unique(lists.fl);
+  sort_unique(lists.hold_filled);
+  // A hold-filled point that is also hazardous for another transition stays
+  // in FL; drop duplicates from the filled list for cleanliness.
+  std::erase_if(lists.hold_filled, [&](const TotalState& t) {
+    return std::binary_search(lists.fl.begin(), lists.fl.end(), t);
+  });
+  return lists;
+}
+
+std::string to_string(const HazardLists& lists, const FlowTable& table) {
+  std::ostringstream out;
+  out << "hazard search: " << lists.stats.stable_transitions << " stable transitions, "
+      << lists.stats.mic_transitions << " multiple-input-change, "
+      << lists.stats.intermediate_points << " intermediate points, "
+      << lists.stats.hazard_hits << " hazard hits\n";
+  for (std::size_t n = 0; n < lists.per_var.size(); ++n) {
+    out << "HL_" << n << ":";
+    for (const TotalState& t : lists.per_var[n]) {
+      out << " (" << table.state_name(t.state) << ", col " << t.column << ")";
+    }
+    out << "\n";
+  }
+  out << "FL:";
+  for (const TotalState& t : lists.fl) {
+    out << " (" << table.state_name(t.state) << ", col " << t.column << ")";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace seance::hazard

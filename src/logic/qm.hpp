@@ -1,0 +1,67 @@
+// Quine-McCluskey prime-implicant generation and cover selection.
+//
+// SEANCE (paper §5.2) reduces canonical minterm expressions for Z and SSD
+// to "essential SOP" form with Quine-McCluskey, and (paper §5.3, step 7)
+// reduces fsv to *all* of its prime implicants so the cover is free of
+// logic hazards under single-variable moves.  Both cover styles are
+// produced here.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace seance::logic {
+
+/// All prime implicants of the incompletely specified function with the
+/// given ON-set and DC-set (minterm lists may be unsorted; duplicates are
+/// tolerated).  Primes that cover only DC minterms are retained here and
+/// filtered by the cover selectors below.
+[[nodiscard]] std::vector<Cube> compute_primes(int num_vars,
+                                               std::span<const Minterm> on,
+                                               std::span<const Minterm> dc);
+
+/// Cover-selection policy.
+enum class CoverMode {
+  /// Essential primes plus an exact branch-and-bound completion —
+  /// minimum-cardinality cover (falls back to greedy past a work bound).
+  kEssentialSop,
+  /// Greedy set-cover completion after essential primes.
+  kGreedy,
+  /// Every prime implicant that covers at least one ON-set minterm.
+  /// Hazard-free for single-input changes (used for fsv, paper step 7).
+  kAllPrimes,
+};
+
+struct CoverStats {
+  std::size_t prime_count = 0;      ///< primes generated
+  std::size_t essential_count = 0;  ///< essential primes found
+  bool exact = true;                ///< false if greedy fallback engaged
+};
+
+/// Selects a cover of the ON-set from the function's primes.
+[[nodiscard]] Cover select_cover(int num_vars, std::span<const Minterm> on,
+                                 std::span<const Minterm> dc, CoverMode mode,
+                                 CoverStats* stats = nullptr);
+
+/// Convenience: minimum essential-SOP cover (paper's reduction for Z/SSD/Y).
+[[nodiscard]] Cover minimize_sop(int num_vars, std::span<const Minterm> on,
+                                 std::span<const Minterm> dc);
+
+/// Convenience: all-primes cover (paper's reduction for fsv).
+[[nodiscard]] Cover all_primes_cover(int num_vars, std::span<const Minterm> on,
+                                     std::span<const Minterm> dc);
+
+/// True iff `c` is a prime implicant of the function (c covers only
+/// on ∪ dc, and no single-literal enlargement of c still does).
+[[nodiscard]] bool is_prime_implicant(const Cube& c, int num_vars,
+                                      std::span<const Minterm> on,
+                                      std::span<const Minterm> dc);
+
+/// True iff removing any cube from the cover uncovers some ON minterm.
+[[nodiscard]] bool is_irredundant(const Cover& cover,
+                                  std::span<const Minterm> on);
+
+}  // namespace seance::logic

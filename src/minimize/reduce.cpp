@@ -1,0 +1,418 @@
+#include "minimize/reduce.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <stdexcept>
+
+namespace seance::minimize {
+
+using flowtable::Entry;
+using flowtable::FlowTable;
+using flowtable::Trit;
+
+namespace {
+
+int popcount(StateSet s) { return std::popcount(s); }
+
+std::vector<int> set_members(StateSet s) {
+  std::vector<int> members;
+  while (s != 0) {
+    const int b = std::countr_zero(s);
+    members.push_back(b);
+    s &= s - 1;
+  }
+  return members;
+}
+
+// Outputs of two entries conflict iff some bit is 0 in one and 1 in the other.
+bool outputs_conflict(const Entry& a, const Entry& b) {
+  const std::size_t n = std::min(a.outputs.size(), b.outputs.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const Trit ta = a.outputs[k];
+    const Trit tb = b.outputs[k];
+    if (ta != Trit::kDC && tb != Trit::kDC && ta != tb) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::vector<char>> compatible_pairs(const FlowTable& table) {
+  const int n = table.num_states();
+  if (n > kMaxStates) throw std::invalid_argument("compatible_pairs: too many states");
+  std::vector<std::vector<char>> compat(static_cast<std::size_t>(n),
+                                        std::vector<char>(static_cast<std::size_t>(n), 1));
+  // Seed: output conflicts.
+  for (int s = 0; s < n; ++s) {
+    for (int t = s + 1; t < n; ++t) {
+      for (int c = 0; c < table.num_columns(); ++c) {
+        const Entry& es = table.entry(s, c);
+        const Entry& et = table.entry(t, c);
+        if (es.specified() && et.specified() && outputs_conflict(es, et)) {
+          compat[s][t] = compat[t][s] = 0;
+          break;
+        }
+      }
+    }
+  }
+  // Fixpoint on implied pairs.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n; ++s) {
+      for (int t = s + 1; t < n; ++t) {
+        if (!compat[s][t]) continue;
+        for (int c = 0; c < table.num_columns(); ++c) {
+          const Entry& es = table.entry(s, c);
+          const Entry& et = table.entry(t, c);
+          if (!es.specified() || !et.specified()) continue;
+          const int u = es.next;
+          const int v = et.next;
+          if (u != v && !compat[u][v]) {
+            compat[s][t] = compat[t][s] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return compat;
+}
+
+bool is_compatible_set(const FlowTable& /*table*/,
+                       const std::vector<std::vector<char>>& pairs, StateSet set) {
+  const std::vector<int> members = set_members(set);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!pairs[static_cast<std::size_t>(members[i])]
+                [static_cast<std::size_t>(members[j])]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Bron-Kerbosch maximal-clique enumeration over the compatibility graph.
+void bron_kerbosch(const std::vector<StateSet>& adj, StateSet r, StateSet p,
+                   StateSet x, std::vector<StateSet>& out) {
+  if (p == 0 && x == 0) {
+    out.push_back(r);
+    return;
+  }
+  // Pivot: vertex of p|x with most neighbours in p.
+  int pivot = -1;
+  int best = -1;
+  for (StateSet s = p | x; s != 0; s &= s - 1) {
+    const int v = std::countr_zero(s);
+    const int deg = popcount(adj[static_cast<std::size_t>(v)] & p);
+    if (deg > best) {
+      best = deg;
+      pivot = v;
+    }
+  }
+  StateSet candidates = p & ~adj[static_cast<std::size_t>(pivot)];
+  while (candidates != 0) {
+    const int v = std::countr_zero(candidates);
+    const StateSet vbit = StateSet{1} << v;
+    candidates &= candidates - 1;
+    bron_kerbosch(adj, r | vbit, p & adj[static_cast<std::size_t>(v)],
+                  x & adj[static_cast<std::size_t>(v)], out);
+    p &= ~vbit;
+    x |= vbit;
+  }
+}
+
+}  // namespace
+
+std::vector<StateSet> maximal_compatibles(const FlowTable& table,
+                                          const std::vector<std::vector<char>>& pairs) {
+  const int n = table.num_states();
+  std::vector<StateSet> adj(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s != t && pairs[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)]) {
+        adj[static_cast<std::size_t>(s)] |= StateSet{1} << t;
+      }
+    }
+  }
+  std::vector<StateSet> cliques;
+  const StateSet all = (n >= 64) ? ~StateSet{0} : ((StateSet{1} << n) - 1);
+  bron_kerbosch(adj, 0, all, 0, cliques);
+  std::sort(cliques.begin(), cliques.end(), [](StateSet a, StateSet b) {
+    if (popcount(a) != popcount(b)) return popcount(a) > popcount(b);
+    return a < b;
+  });
+  return cliques;
+}
+
+std::vector<StateSet> implied_classes(const FlowTable& table, StateSet compatible) {
+  std::vector<StateSet> implied;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    StateSet dest = 0;
+    for (int s : set_members(compatible)) {
+      const Entry& e = table.entry(s, c);
+      if (e.specified()) dest |= StateSet{1} << e.next;
+    }
+    if (popcount(dest) >= 2 && (dest & ~compatible) != 0) {
+      if (std::find(implied.begin(), implied.end(), dest) == implied.end()) {
+        implied.push_back(dest);
+      }
+    }
+  }
+  return implied;
+}
+
+std::vector<PrimeCompatible> prime_compatibles(
+    const FlowTable& table, const std::vector<std::vector<char>>& pairs) {
+  const std::vector<StateSet> mcs = maximal_compatibles(table, pairs);
+  const int n = table.num_states();
+
+  // Candidates per size, seeded by maximal compatibles.
+  std::vector<std::vector<StateSet>> by_size(static_cast<std::size_t>(n) + 1);
+  for (StateSet mc : mcs) by_size[static_cast<std::size_t>(popcount(mc))].push_back(mc);
+
+  std::vector<PrimeCompatible> primes;
+  // Does `sub` have closure obligations no stronger than those already
+  // implied by an accepted prime superset?  (Grasselli-Luccio exclusion,
+  // containment form: every implied class of the superset fits inside an
+  // implied class of the subset — replacement in any solution stays valid.)
+  const auto excluded = [&](StateSet cand, const std::vector<StateSet>& cand_implied) {
+    for (const PrimeCompatible& p : primes) {
+      if ((cand & p.states) != cand || cand == p.states) continue;  // need strict superset
+      const bool weaker = std::all_of(
+          p.implied.begin(), p.implied.end(), [&](StateSet dp) {
+            return std::any_of(cand_implied.begin(), cand_implied.end(),
+                               [&](StateSet dc) { return (dp & ~dc) == 0; });
+          });
+      if (weaker) return true;
+    }
+    return false;
+  };
+
+  for (int size = n; size >= 1; --size) {
+    auto& candidates = by_size[static_cast<std::size_t>(size)];
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    for (StateSet cand : candidates) {
+      const std::vector<StateSet> implied = implied_classes(table, cand);
+      if (!excluded(cand, implied)) {
+        primes.push_back(PrimeCompatible{cand, implied});
+      }
+      // All (size-1)-subsets become candidates at the next level down,
+      // whether or not `cand` itself was prime (standard generation).
+      if (size > 1) {
+        for (int v : set_members(cand)) {
+          by_size[static_cast<std::size_t>(size - 1)].push_back(cand & ~(StateSet{1} << v));
+        }
+      }
+    }
+  }
+  return primes;
+}
+
+bool is_closed_cover(const FlowTable& table, const std::vector<StateSet>& classes,
+                     std::string* why) {
+  StateSet covered = 0;
+  for (StateSet c : classes) covered |= c;
+  for (int s = 0; s < table.num_states(); ++s) {
+    if (!(covered & (StateSet{1} << s))) {
+      if (why != nullptr) *why = "state " + table.state_name(s) + " not covered";
+      return false;
+    }
+  }
+  for (StateSet c : classes) {
+    for (int col = 0; col < table.num_columns(); ++col) {
+      StateSet dest = 0;
+      for (int s : set_members(c)) {
+        const Entry& e = table.entry(s, col);
+        if (e.specified()) dest |= StateSet{1} << e.next;
+      }
+      if (dest == 0) continue;
+      const bool contained = std::any_of(classes.begin(), classes.end(),
+                                         [&](StateSet k) { return (dest & ~k) == 0; });
+      if (!contained) {
+        if (why != nullptr) {
+          *why = "implied class of column " + std::to_string(col) +
+                 " not contained in any chosen class";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Branch-and-bound minimal closed cover over prime compatibles.
+class CoverSearch {
+ public:
+  CoverSearch(const FlowTable& table, std::vector<PrimeCompatible> primes,
+              std::size_t node_budget)
+      : table_(table), primes_(std::move(primes)), node_budget_(node_budget) {}
+
+  std::vector<StateSet> solve() {
+    greedy();  // incumbent
+    std::vector<std::size_t> chosen;
+    recurse(chosen);
+    std::vector<StateSet> result;
+    result.reserve(best_.size());
+    for (std::size_t i : best_) result.push_back(primes_[i].states);
+    return result;
+  }
+
+ private:
+  // First unmet obligation: an uncovered state (as a singleton set) or an
+  // implied class of a chosen prime not contained in any chosen prime.
+  std::optional<StateSet> first_unmet(const std::vector<std::size_t>& chosen) const {
+    StateSet covered = 0;
+    for (std::size_t i : chosen) covered |= primes_[i].states;
+    for (int s = 0; s < table_.num_states(); ++s) {
+      if (!(covered & (StateSet{1} << s))) return StateSet{1} << s;
+    }
+    for (std::size_t i : chosen) {
+      for (StateSet d : primes_[i].implied) {
+        const bool contained =
+            std::any_of(chosen.begin(), chosen.end(), [&](std::size_t j) {
+              return (d & ~primes_[j].states) == 0;
+            });
+        if (!contained) return d;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void greedy() {
+    std::vector<std::size_t> chosen;
+    while (auto unmet = first_unmet(chosen)) {
+      std::size_t best_i = primes_.size();
+      int best_size = -1;
+      for (std::size_t i = 0; i < primes_.size(); ++i) {
+        if ((*unmet & ~primes_[i].states) != 0) continue;
+        // Prefer big classes with few obligations.
+        const int score = popcount(primes_[i].states) * 8 -
+                          static_cast<int>(primes_[i].implied.size());
+        if (score > best_size) {
+          best_size = score;
+          best_i = i;
+        }
+      }
+      if (best_i == primes_.size()) {
+        throw std::logic_error("closed-cover search: obligation unsatisfiable");
+      }
+      chosen.push_back(best_i);
+    }
+    best_ = chosen;
+  }
+
+  void recurse(std::vector<std::size_t>& chosen) {
+    if (++nodes_ > node_budget_) return;
+    if (chosen.size() + 1 >= best_.size() && first_unmet(chosen)) return;
+    const auto unmet = first_unmet(chosen);
+    if (!unmet) {
+      if (chosen.size() < best_.size()) best_ = chosen;
+      return;
+    }
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+      if ((*unmet & ~primes_[i].states) != 0) continue;
+      if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) continue;
+      chosen.push_back(i);
+      recurse(chosen);
+      chosen.pop_back();
+      if (nodes_ > node_budget_) return;
+    }
+  }
+
+  const FlowTable& table_;
+  std::vector<PrimeCompatible> primes_;
+  std::size_t node_budget_;
+  std::vector<std::size_t> best_;
+  std::size_t nodes_ = 0;
+};
+
+Trit merged_output_bit(const FlowTable& table, StateSet cls, int column, int bit) {
+  Trit result = Trit::kDC;
+  for (int s : set_members(cls)) {
+    const Entry& e = table.entry(s, column);
+    if (!e.specified()) continue;
+    const Trit t = e.outputs[static_cast<std::size_t>(bit)];
+    if (t == Trit::kDC) continue;
+    if (result != Trit::kDC && result != t) {
+      throw std::logic_error("merged_output_bit: incompatible members merged");
+    }
+    result = t;
+  }
+  return result;
+}
+
+}  // namespace
+
+ReductionResult reduce(const FlowTable& table, const ReduceOptions& options) {
+  const auto pairs = compatible_pairs(table);
+  auto primes = prime_compatibles(table, pairs);
+  CoverSearch search(table, std::move(primes), options.node_budget);
+  std::vector<StateSet> classes = search.solve();
+  std::sort(classes.begin(), classes.end(), [](StateSet a, StateSet b) {
+    return std::countr_zero(a) < std::countr_zero(b);
+  });
+
+  const int num_classes = static_cast<int>(classes.size());
+  FlowTable reduced(table.num_inputs(), table.num_outputs(), num_classes);
+  for (int i = 0; i < num_classes; ++i) {
+    std::string name = "m";
+    for (int s : set_members(classes[static_cast<std::size_t>(i)])) {
+      name += "_" + table.state_name(s);
+    }
+    reduced.set_state_name(i, name);
+  }
+
+  for (int i = 0; i < num_classes; ++i) {
+    const StateSet cls = classes[static_cast<std::size_t>(i)];
+    for (int c = 0; c < table.num_columns(); ++c) {
+      StateSet dest = 0;
+      for (int s : set_members(cls)) {
+        const Entry& e = table.entry(s, c);
+        if (e.specified()) dest |= StateSet{1} << e.next;
+      }
+      if (dest == 0) continue;  // unspecified entry
+      // Prefer the class itself (keeps the entry stable), else the first
+      // chosen class containing the implied set.
+      int next_class = -1;
+      if ((dest & ~cls) == 0) {
+        next_class = i;
+      } else {
+        for (int j = 0; j < num_classes; ++j) {
+          if ((dest & ~classes[static_cast<std::size_t>(j)]) == 0) {
+            next_class = j;
+            break;
+          }
+        }
+      }
+      if (next_class < 0) throw std::logic_error("reduce: closure violated");
+      std::string outputs;
+      for (int k = 0; k < table.num_outputs(); ++k) {
+        outputs += flowtable::to_char(merged_output_bit(table, cls, c, k));
+      }
+      reduced.set(i, c, next_class, outputs);
+    }
+  }
+  reduced.normalize_to_normal_mode();
+
+  std::vector<int> state_to_class(static_cast<std::size_t>(table.num_states()), -1);
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (int j = 0; j < num_classes; ++j) {
+      if (classes[static_cast<std::size_t>(j)] & (StateSet{1} << s)) {
+        state_to_class[static_cast<std::size_t>(s)] = j;
+        break;
+      }
+    }
+  }
+  return ReductionResult{std::move(reduced), std::move(classes), std::move(state_to_class)};
+}
+
+}  // namespace seance::minimize

@@ -1,0 +1,87 @@
+// State minimization of incompletely specified flow tables (SEANCE step 2).
+//
+// The paper removes redundant states "using state machine minimization
+// methods [8]" (Kohavi).  For incompletely specified machines the problem
+// is a minimal *closed cover* by compatibles, not a partition:
+//   1. pair-chart compatibility fixpoint,
+//   2. maximal compatibles (clique enumeration),
+//   3. prime compatibles with Grasselli-Luccio dominance,
+//   4. branch-and-bound minimal closed cover,
+//   5. reduced-table construction (re-normalized to normal mode).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flowtable/table.hpp"
+
+namespace seance::minimize {
+
+/// Set of states as a bitmask (state i = bit i).  Bounds tables to 64 rows,
+/// far beyond anything the paper's flow (or our benches) uses.
+using StateSet = std::uint64_t;
+
+inline constexpr int kMaxStates = 64;
+
+/// Symmetric pair-compatibility matrix via the classic pair-chart
+/// fixpoint: a pair is compatible iff outputs never conflict and every
+/// implied pair is compatible.
+[[nodiscard]] std::vector<std::vector<char>> compatible_pairs(
+    const flowtable::FlowTable& table);
+
+/// True iff all states in `set` are pairwise compatible.
+[[nodiscard]] bool is_compatible_set(const flowtable::FlowTable& table,
+                                     const std::vector<std::vector<char>>& pairs,
+                                     StateSet set);
+
+/// Maximal compatibles (maximal cliques of the pair-compatibility graph).
+[[nodiscard]] std::vector<StateSet> maximal_compatibles(
+    const flowtable::FlowTable& table,
+    const std::vector<std::vector<char>>& pairs);
+
+/// The implied classes Γ(C): for each input column, the set of successor
+/// states of C's members; only classes with >= 2 states not contained in C
+/// impose closure obligations and are returned.
+[[nodiscard]] std::vector<StateSet> implied_classes(
+    const flowtable::FlowTable& table, StateSet compatible);
+
+struct PrimeCompatible {
+  StateSet states = 0;
+  std::vector<StateSet> implied;  ///< Γ(states)
+};
+
+/// Prime compatibles: compatibles not dominated by a strict superset with
+/// closure obligations no stronger than their own (Grasselli-Luccio).
+[[nodiscard]] std::vector<PrimeCompatible> prime_compatibles(
+    const flowtable::FlowTable& table,
+    const std::vector<std::vector<char>>& pairs);
+
+struct ReductionResult {
+  flowtable::FlowTable reduced;
+  /// Chosen closed cover; class i becomes reduced state i.
+  std::vector<StateSet> classes;
+  /// For each original state, one reduced state whose class contains it.
+  std::vector<int> state_to_class;
+};
+
+struct ReduceOptions {
+  /// Node budget for the exact branch-and-bound closed-cover search;
+  /// exceeded -> greedy completion.
+  std::size_t node_budget = 1'000'000;
+};
+
+/// Full minimization.  The input must be normal-mode; the result is
+/// normal-mode again (chains introduced by merging are re-normalized).
+[[nodiscard]] ReductionResult reduce(const flowtable::FlowTable& table,
+                                     const ReduceOptions& options = {});
+
+/// Checks that `classes` is a closed cover of the table (every state
+/// covered, every implied class inside some chosen class); fills `why` on
+/// failure.  Exposed for tests.
+[[nodiscard]] bool is_closed_cover(const flowtable::FlowTable& table,
+                                   const std::vector<StateSet>& classes,
+                                   std::string* why = nullptr);
+
+}  // namespace seance::minimize

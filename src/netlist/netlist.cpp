@@ -1,0 +1,254 @@
+#include "netlist/netlist.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace seance::netlist {
+
+using logic::ExprPtr;
+using logic::Op;
+
+const char* to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+      return "INPUT";
+    case GateKind::kConst:
+      return "CONST";
+    case GateKind::kBuf:
+      return "BUF";
+    case GateKind::kNot:
+      return "NOT";
+    case GateKind::kAnd:
+      return "AND";
+    case GateKind::kOr:
+      return "OR";
+    case GateKind::kNor:
+      return "NOR";
+  }
+  return "?";
+}
+
+int Netlist::add_input(std::string name) {
+  gates_.push_back(Gate{GateKind::kInput, false, {}, std::move(name)});
+  return size() - 1;
+}
+
+int Netlist::add_const(bool value) {
+  gates_.push_back(Gate{GateKind::kConst, value, {}, value ? "one" : "zero"});
+  return size() - 1;
+}
+
+int Netlist::add_gate(GateKind kind, std::vector<int> fanin, std::string name) {
+  for (int f : fanin) {
+    if (f < 0 || f >= size()) throw std::invalid_argument("add_gate: bad fanin net");
+  }
+  gates_.push_back(Gate{kind, false, std::move(fanin), std::move(name)});
+  return size() - 1;
+}
+
+int Netlist::add_placeholder(std::string name) {
+  gates_.push_back(Gate{GateKind::kBuf, false, {}, std::move(name)});
+  return size() - 1;
+}
+
+void Netlist::connect(int placeholder, int source) {
+  Gate& gate = gates_.at(static_cast<std::size_t>(placeholder));
+  if (gate.kind != GateKind::kBuf || !gate.fanin.empty()) {
+    throw std::logic_error("connect: target is not an open placeholder");
+  }
+  gate.fanin.push_back(source);
+}
+
+int Netlist::add_expr(const ExprPtr& expr, const std::vector<int>& var_nets,
+                      const std::string& name) {
+  switch (expr->op()) {
+    case Op::kConst:
+      return add_const(expr->const_value());
+    case Op::kVar:
+      return var_nets.at(static_cast<std::size_t>(expr->var_index()));
+    default: {
+      std::vector<int> fanin;
+      fanin.reserve(expr->kids().size());
+      for (const ExprPtr& k : expr->kids()) fanin.push_back(add_expr(k, var_nets));
+      GateKind kind = GateKind::kNot;
+      if (expr->op() == Op::kAnd) kind = GateKind::kAnd;
+      if (expr->op() == Op::kOr) kind = GateKind::kOr;
+      if (expr->op() == Op::kNor) kind = GateKind::kNor;
+      return add_gate(kind, std::move(fanin), name);
+    }
+  }
+}
+
+int Netlist::output(const std::string& name) const {
+  const auto it = outputs_.find(name);
+  if (it == outputs_.end()) throw std::invalid_argument("unknown output: " + name);
+  return it->second;
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kInput) {
+      ++s.inputs;
+    } else if (g.kind != GateKind::kConst && g.kind != GateKind::kBuf) {
+      ++s.logic_gates;
+      s.literals += static_cast<int>(g.fanin.size());
+    }
+  }
+  return s;
+}
+
+std::string Netlist::to_string() const {
+  std::ostringstream out;
+  for (int i = 0; i < size(); ++i) {
+    const Gate& g = gates_[static_cast<std::size_t>(i)];
+    out << "n" << i << " = " << netlist::to_string(g.kind);
+    if (g.kind == GateKind::kConst) out << "(" << (g.const_value ? 1 : 0) << ")";
+    if (!g.fanin.empty()) {
+      out << "(";
+      for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+        if (k > 0) out << ", ";
+        out << "n" << g.fanin[k];
+      }
+      out << ")";
+    }
+    if (!g.name.empty()) out << "  # " << g.name;
+    out << "\n";
+  }
+  for (const auto& [name, net] : outputs_) {
+    out << "output " << name << " = n" << net << "\n";
+  }
+  return out.str();
+}
+
+std::string to_verilog(const Netlist& netlist, const std::string& module_name) {
+  std::ostringstream out;
+  std::vector<int> inputs;
+  for (int i = 0; i < netlist.size(); ++i) {
+    if (netlist.gates()[static_cast<std::size_t>(i)].kind == GateKind::kInput) {
+      inputs.push_back(i);
+    }
+  }
+  const auto net_name = [&](int i) {
+    const Gate& g = netlist.gates()[static_cast<std::size_t>(i)];
+    if (g.kind == GateKind::kInput) return g.name.empty() ? "in" + std::to_string(i) : g.name;
+    return "n" + std::to_string(i);
+  };
+
+  out << "module " << module_name << " (\n";
+  bool first = true;
+  for (int i : inputs) {
+    out << (first ? "  input wire " : ",\n  input wire ") << net_name(i);
+    first = false;
+  }
+  for (const auto& [name, net] : netlist.outputs()) {
+    (void)net;
+    out << (first ? "  output wire " : ",\n  output wire ") << "o_" << name;
+    first = false;
+  }
+  out << "\n);\n";
+
+  for (int i = 0; i < netlist.size(); ++i) {
+    const Gate& g = netlist.gates()[static_cast<std::size_t>(i)];
+    if (g.kind == GateKind::kInput) continue;
+    out << "  wire " << net_name(i) << ";\n";
+  }
+  for (int i = 0; i < netlist.size(); ++i) {
+    const Gate& g = netlist.gates()[static_cast<std::size_t>(i)];
+    switch (g.kind) {
+      case GateKind::kInput:
+        break;
+      case GateKind::kConst:
+        out << "  assign " << net_name(i) << " = 1'b" << (g.const_value ? 1 : 0) << ";\n";
+        break;
+      case GateKind::kBuf:
+        out << "  assign " << net_name(i) << " = " << net_name(g.fanin.at(0)) << ";\n";
+        break;
+      case GateKind::kNot:
+        out << "  assign " << net_name(i) << " = ~" << net_name(g.fanin.at(0)) << ";\n";
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        const char* op = g.kind == GateKind::kAnd ? " & " : " | ";
+        out << "  assign " << net_name(i) << " = ";
+        if (g.kind == GateKind::kNor) out << "~(";
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          if (k > 0) out << op;
+          out << net_name(g.fanin[k]);
+        }
+        if (g.kind == GateKind::kNor) out << ")";
+        out << ";\n";
+        break;
+      }
+    }
+  }
+  for (const auto& [name, net] : netlist.outputs()) {
+    out << "  assign o_" << name << " = " << net_name(net) << ";\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+FantomNets build_fantom(const core::FantomMachine& machine, Netlist& netlist) {
+  const core::VariableLayout& layout = machine.layout;
+  FantomNets nets;
+
+  for (int i = 0; i < layout.num_inputs; ++i) {
+    nets.x.push_back(netlist.add_input("x" + std::to_string(i)));
+  }
+  nets.g = netlist.add_input("G");
+
+  // Feedback placeholders for the state variables (wire, no delay element).
+  for (int n = 0; n < layout.num_state_vars; ++n) {
+    nets.y.push_back(netlist.add_placeholder("y" + std::to_string(n)));
+  }
+
+  // Variable map for (x, y) equations.
+  std::vector<int> xy_nets;
+  for (int i = 0; i < layout.num_inputs; ++i) xy_nets.push_back(nets.x[static_cast<std::size_t>(i)]);
+  for (int n = 0; n < layout.num_state_vars; ++n) xy_nets.push_back(nets.y[static_cast<std::size_t>(n)]);
+
+  nets.fsv_range.begin = netlist.size();
+  nets.fsv = netlist.add_expr(machine.fsv.expr, xy_nets, "fsv");
+  nets.fsv_range.end = netlist.size();
+
+  nets.ssd_range.begin = netlist.size();
+  nets.ssd = netlist.add_expr(machine.ssd.expr, xy_nets, "SSD");
+  nets.ssd_range.end = netlist.size();
+
+  // Y equations additionally see fsv.
+  std::vector<int> y_space_nets = xy_nets;
+  if (layout.has_fsv) y_space_nets.push_back(nets.fsv);
+  nets.y_range.begin = netlist.size();
+  for (int n = 0; n < layout.num_state_vars; ++n) {
+    const int out = netlist.add_expr(machine.y[static_cast<std::size_t>(n)].expr,
+                                     y_space_nets, "Y" + std::to_string(n));
+    netlist.connect(nets.y[static_cast<std::size_t>(n)], out);
+  }
+  nets.y_range.end = netlist.size();
+
+  nets.z_range.begin = netlist.size();
+  for (std::size_t k = 0; k < machine.z.size(); ++k) {
+    nets.z.push_back(
+        netlist.add_expr(machine.z[k].expr, xy_nets, "Z" + std::to_string(k)));
+  }
+  nets.z_range.end = netlist.size();
+
+  // Gate A (Fig. 2): VOM = NOR(G, fsv) AND SSD.
+  nets.nor_g_fsv = netlist.add_gate(GateKind::kNor, {nets.g, nets.fsv}, "norGfsv");
+  nets.vom = netlist.add_gate(GateKind::kAnd, {nets.nor_g_fsv, nets.ssd}, "VOM");
+
+  netlist.set_output("VOM", nets.vom);
+  netlist.set_output("fsv", nets.fsv);
+  netlist.set_output("SSD", nets.ssd);
+  for (std::size_t n = 0; n < nets.y.size(); ++n) {
+    netlist.set_output("y" + std::to_string(n), nets.y[n]);
+  }
+  for (std::size_t k = 0; k < nets.z.size(); ++k) {
+    netlist.set_output("Z" + std::to_string(k), nets.z[k]);
+  }
+  return nets;
+}
+
+}  // namespace seance::netlist

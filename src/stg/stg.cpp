@@ -1,0 +1,320 @@
+#include "stg/stg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace seance::stg {
+
+using flowtable::FlowTable;
+
+int Stg::add_signal(std::string name, bool is_input, bool initial_value) {
+  signals_.push_back(Signal{std::move(name), is_input, initial_value});
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+int Stg::add_transition(int signal, bool rising) {
+  if (signal < 0 || signal >= static_cast<int>(signals_.size())) {
+    throw std::invalid_argument("add_transition: bad signal index");
+  }
+  transitions_.push_back(Transition{signal, rising});
+  return static_cast<int>(transitions_.size()) - 1;
+}
+
+int Stg::transition(const std::string& name, bool rising) {
+  int signal = -1;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].name == name) signal = static_cast<int>(i);
+  }
+  if (signal < 0) throw std::invalid_argument("transition: unknown signal " + name);
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].signal == signal && transitions_[i].rising == rising) {
+      return static_cast<int>(i);
+    }
+  }
+  return add_transition(signal, rising);
+}
+
+void Stg::add_arc(int from, int to, int tokens) {
+  const int n = static_cast<int>(transitions_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    throw std::invalid_argument("add_arc: bad transition index");
+  }
+  if (tokens < 0 || tokens > 1) throw std::invalid_argument("add_arc: tokens must be 0/1");
+  arcs_.push_back(Arc{from, to, tokens});
+}
+
+bool Stg::validate(std::string* why) const {
+  if (arcs_.size() > 64) {
+    if (why != nullptr) *why = "more than 64 places";
+    return false;
+  }
+  for (std::size_t t = 0; t < transitions_.size(); ++t) {
+    bool has_in = false;
+    bool has_out = false;
+    for (const Arc& a : arcs_) {
+      if (a.to == static_cast<int>(t)) has_in = true;
+      if (a.from == static_cast<int>(t)) has_out = true;
+    }
+    if (!has_in || !has_out) {
+      if (why != nullptr) {
+        *why = "transition " + transitions_[t].label(signals_) +
+               (has_in ? " has no outgoing place" : " has no incoming place");
+      }
+      return false;
+    }
+  }
+  int num_inputs = 0;
+  for (const Signal& s : signals_) num_inputs += s.is_input ? 1 : 0;
+  if (num_inputs == 0) {
+    if (why != nullptr) *why = "no input signals";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct ExplorationState {
+  std::uint64_t marking = 0;  ///< bit per arc
+  std::uint32_t values = 0;   ///< bit per signal
+
+  friend auto operator<=>(const ExplorationState&, const ExplorationState&) = default;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const Stg& stg) : stg_(stg) {}
+
+  bool enabled(int t, const ExplorationState& s) const {
+    for (std::size_t a = 0; a < stg_.arcs().size(); ++a) {
+      if (stg_.arcs()[a].to == t && !(s.marking & (1ull << a))) return false;
+    }
+    return true;
+  }
+
+  void fire(int t, ExplorationState& s) const {
+    const Transition& tr = stg_.transitions()[static_cast<std::size_t>(t)];
+    const std::uint32_t bit = 1u << tr.signal;
+    const bool current = (s.values & bit) != 0;
+    if (current == tr.rising) {
+      throw std::runtime_error("stg: inconsistent firing of " +
+                               tr.label(stg_.signals()) + " (signal already there)");
+    }
+    for (std::size_t a = 0; a < stg_.arcs().size(); ++a) {
+      const Arc& arc = stg_.arcs()[a];
+      if (arc.to == t) s.marking &= ~(1ull << a);
+    }
+    for (std::size_t a = 0; a < stg_.arcs().size(); ++a) {
+      const Arc& arc = stg_.arcs()[a];
+      if (arc.from == t) {
+        if (s.marking & (1ull << a)) {
+          throw std::runtime_error("stg: unsafe marking (place overflow) after " +
+                                   tr.label(stg_.signals()));
+        }
+        s.marking |= 1ull << a;
+      }
+    }
+    s.values ^= bit;
+  }
+
+  /// Fires enabled output transitions until none remain (speed-independent
+  /// output settling).  Marked graphs are choice-free, so any firing order
+  /// reaches the same quiescent state.
+  void stabilize(ExplorationState& s) const {
+    const int bound =
+        4 * static_cast<int>(stg_.transitions().size() * (stg_.arcs().size() + 1));
+    for (int i = 0; i < bound; ++i) {
+      bool fired = false;
+      for (std::size_t t = 0; t < stg_.transitions().size(); ++t) {
+        const Transition& tr = stg_.transitions()[t];
+        if (stg_.signals()[static_cast<std::size_t>(tr.signal)].is_input) continue;
+        if (enabled(static_cast<int>(t), s)) {
+          fire(static_cast<int>(t), s);
+          fired = true;
+          break;
+        }
+      }
+      if (!fired) return;
+    }
+    throw std::runtime_error("stg: outputs do not quiesce (unbounded firing)");
+  }
+
+  std::vector<int> enabled_inputs(const ExplorationState& s) const {
+    std::vector<int> result;
+    for (std::size_t t = 0; t < stg_.transitions().size(); ++t) {
+      const Transition& tr = stg_.transitions()[t];
+      if (!stg_.signals()[static_cast<std::size_t>(tr.signal)].is_input) continue;
+      if (enabled(static_cast<int>(t), s)) result.push_back(static_cast<int>(t));
+    }
+    return result;
+  }
+
+ private:
+  const Stg& stg_;
+};
+
+}  // namespace
+
+FlowTable Stg::to_flow_table(ConversionStats* stats) const {
+  std::string why;
+  if (!validate(&why)) throw std::runtime_error("stg: invalid structure: " + why);
+
+  // Signal index -> input bit / output bit maps.
+  std::vector<int> input_bit(signals_.size(), -1);
+  std::vector<int> output_bit(signals_.size(), -1);
+  int num_inputs = 0;
+  int num_outputs = 0;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].is_input) {
+      input_bit[i] = num_inputs++;
+    } else {
+      output_bit[i] = num_outputs++;
+    }
+  }
+
+  Explorer explorer(*this);
+  ExplorationState initial;
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    if (arcs_[a].tokens > 0) initial.marking |= 1ull << a;
+  }
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].initial_value) initial.values |= 1u << i;
+  }
+  explorer.stabilize(initial);
+
+  // BFS over stable states.
+  std::map<ExplorationState, int> row_of;
+  std::vector<ExplorationState> rows;
+  const auto intern = [&](const ExplorationState& s) {
+    const auto it = row_of.find(s);
+    if (it != row_of.end()) return it->second;
+    const int id = static_cast<int>(rows.size());
+    rows.push_back(s);
+    row_of.emplace(s, id);
+    return id;
+  };
+  (void)intern(initial);
+
+  struct Edge {
+    int from_row;
+    int column;
+    int to_row;
+    int toggles;
+  };
+  std::vector<Edge> edges;
+  ConversionStats local;
+
+  const auto column_of = [&](const ExplorationState& s) {
+    int column = 0;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      if (input_bit[i] >= 0 && (s.values & (1u << i))) column |= 1 << input_bit[i];
+    }
+    return column;
+  };
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows.size() > 4096) throw std::runtime_error("stg: state space too large");
+    ++local.markings_explored;
+    const ExplorationState state = rows[r];
+    const std::vector<int> inputs = explorer.enabled_inputs(state);
+    // Distinct signals only: two enabled transitions of one signal would
+    // make the marked graph inconsistent.
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+        if (transitions_[static_cast<std::size_t>(inputs[i])].signal ==
+            transitions_[static_cast<std::size_t>(inputs[j])].signal) {
+          throw std::runtime_error("stg: two transitions of one input enabled at once");
+        }
+      }
+    }
+    // Every non-empty subset of simultaneously-enabled inputs is a legal
+    // (possibly multiple-input-change) environment move.
+    const std::size_t subsets = 1ull << inputs.size();
+    for (std::size_t mask = 1; mask < subsets; ++mask) {
+      ExplorationState next = state;
+      int toggles = 0;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (mask & (1ull << i)) {
+          explorer.fire(inputs[i], next);
+          ++toggles;
+        }
+      }
+      explorer.stabilize(next);
+      const int to_row = intern(next);
+      edges.push_back(Edge{static_cast<int>(r), column_of(next), to_row, toggles});
+    }
+  }
+  local.stable_states = static_cast<int>(rows.size());
+
+  FlowTable table(std::max(num_inputs, 1), num_outputs, static_cast<int>(rows.size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::string name = "q";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      name += (rows[r].values & (1u << i)) ? '1' : '0';
+    }
+    name += "_" + std::to_string(r);
+    table.set_state_name(static_cast<int>(r), name);
+  }
+  // Stable entries with output values.
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::string outputs;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      if (output_bit[i] >= 0) {
+        outputs += (rows[r].values & (1u << i)) ? '1' : '0';
+      }
+    }
+    table.set(static_cast<int>(r), column_of(rows[r]), static_cast<int>(r), outputs);
+  }
+  for (const Edge& e : edges) {
+    const flowtable::Entry& existing = table.entry(e.from_row, e.column);
+    if (existing.specified() && existing.next != e.to_row) {
+      throw std::runtime_error("stg: conversion produced a non-deterministic entry");
+    }
+    if (!existing.specified()) {
+      table.set(e.from_row, e.column, e.to_row);
+      if (e.toggles > 1) ++local.mic_entries;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return table;
+}
+
+Stg four_phase_handshake() {
+  Stg stg;
+  const int req = stg.add_signal("req", /*is_input=*/true);
+  const int ack = stg.add_signal("ack", /*is_input=*/false);
+  const int req_up = stg.add_transition(req, true);
+  const int ack_up = stg.add_transition(ack, true);
+  const int req_dn = stg.add_transition(req, false);
+  const int ack_dn = stg.add_transition(ack, false);
+  stg.add_arc(req_up, ack_up, 0);
+  stg.add_arc(ack_up, req_dn, 0);
+  stg.add_arc(req_dn, ack_dn, 0);
+  stg.add_arc(ack_dn, req_up, 1);
+  return stg;
+}
+
+Stg parallel_join() {
+  Stg stg;
+  const int a = stg.add_signal("a", /*is_input=*/true);
+  const int b = stg.add_signal("b", /*is_input=*/true);
+  const int c = stg.add_signal("c", /*is_input=*/false);
+  const int a_up = stg.add_transition(a, true);
+  const int b_up = stg.add_transition(b, true);
+  const int c_up = stg.add_transition(c, true);
+  const int a_dn = stg.add_transition(a, false);
+  const int b_dn = stg.add_transition(b, false);
+  const int c_dn = stg.add_transition(c, false);
+  stg.add_arc(a_up, c_up, 0);
+  stg.add_arc(b_up, c_up, 0);
+  stg.add_arc(c_up, a_dn, 0);
+  stg.add_arc(c_up, b_dn, 0);
+  stg.add_arc(a_dn, c_dn, 0);
+  stg.add_arc(b_dn, c_dn, 0);
+  stg.add_arc(c_dn, a_up, 1);
+  stg.add_arc(c_dn, b_up, 1);
+  return stg;
+}
+
+}  // namespace seance::stg

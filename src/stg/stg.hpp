@@ -1,0 +1,101 @@
+// Signal transition graphs — the alternative specification front-end of
+// paper §5.1 ("This table is directly generated from state diagrams, or
+// can be easily derived from signal transition graphs (STG)").
+//
+// The model is the marked-graph subclass of STGs (Chu [3], Seitz [17]):
+// nodes are signal transitions (a+ / a-), arcs are places holding zero or
+// one token, each with exactly one producer and one consumer.  A
+// transition is enabled when every incoming arc is marked; firing moves
+// the tokens and toggles the signal.  This subclass is deterministic and
+// choice-free, which is what lets the conversion below produce a
+// deterministic normal-mode Huffman flow table:
+//
+//  * reachable stable markings (no enabled *output* transition) become
+//    table rows;
+//  * the input-signal values at a marking select the stable column;
+//  * firing any simultaneously-enabled set of input transitions, then
+//    letting the outputs run to quiescence (the speed-independent
+//    assumption), yields the row's entry in the new input column —
+//    multi-transition sets are exactly the paper's multiple-input
+//    changes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flowtable/table.hpp"
+
+namespace seance::stg {
+
+struct Signal {
+  std::string name;
+  bool is_input = false;
+  bool initial_value = false;
+};
+
+struct Transition {
+  int signal = -1;
+  bool rising = true;
+
+  [[nodiscard]] std::string label(const std::vector<Signal>& signals) const {
+    return signals[static_cast<std::size_t>(signal)].name + (rising ? "+" : "-");
+  }
+};
+
+struct Arc {
+  int from = -1;  ///< producer transition
+  int to = -1;    ///< consumer transition
+  int tokens = 0; ///< initial marking (0 or 1)
+};
+
+class Stg {
+ public:
+  /// Declares a signal; returns its index.
+  int add_signal(std::string name, bool is_input, bool initial_value = false);
+  /// Declares a transition node for signal `signal`; returns its index.
+  int add_transition(int signal, bool rising);
+  /// Convenience: find-or-add the transition `name+`/`name-`.
+  int transition(const std::string& name, bool rising);
+  /// Adds a place from transition `from` to transition `to`.
+  void add_arc(int from, int to, int tokens);
+
+  [[nodiscard]] const std::vector<Signal>& signals() const { return signals_; }
+  [[nodiscard]] const std::vector<Transition>& transitions() const { return transitions_; }
+  [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Structural checks: every transition has a producer and a consumer
+  /// place, tokens are 0/1, arcs reference valid transitions.  Fills
+  /// `why` on failure.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+  struct ConversionStats {
+    int markings_explored = 0;
+    int stable_states = 0;
+    int mic_entries = 0;  ///< entries reached by >= 2 simultaneous inputs
+  };
+
+  /// Converts to a Huffman flow table (see header comment).  Throws
+  /// std::runtime_error on invalid structure, non-live behaviour
+  /// (an output fires with no consumer progress / unbounded marking), or
+  /// inconsistent signal values (the same transition direction enabled
+  /// twice in a row).
+  [[nodiscard]] flowtable::FlowTable to_flow_table(ConversionStats* stats = nullptr) const;
+
+ private:
+  std::vector<Signal> signals_;
+  std::vector<Transition> transitions_;
+  std::vector<Arc> arcs_;
+};
+
+/// A classic four-phase handshake expansion (req/ack), used in tests and
+/// the stg_handshake example.
+[[nodiscard]] Stg four_phase_handshake();
+
+/// A two-input synchronizer: out rises after both a and b rise, falls
+/// after both fall; a and b are unordered (they may change together —
+/// the MIC case).
+[[nodiscard]] Stg parallel_join();
+
+}  // namespace seance::stg

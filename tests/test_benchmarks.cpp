@@ -1,0 +1,79 @@
+#include "bench_suite/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "flowtable/table.hpp"
+
+namespace seance::bench_suite {
+namespace {
+
+using flowtable::FlowTable;
+
+TEST(Benchmarks, SuiteHasPaperEntries) {
+  const auto& suite = table1_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "test_example");
+  EXPECT_EQ(suite[1].name, "traffic");
+  EXPECT_EQ(suite[2].name, "lion");
+  EXPECT_EQ(suite[3].name, "lion9");
+  EXPECT_EQ(suite[4].name, "train11");
+}
+
+TEST(Benchmarks, ByNameFindsBoth) {
+  EXPECT_EQ(by_name("lion").name, "lion");
+  EXPECT_EQ(by_name("train4").name, "train4");
+  EXPECT_THROW((void)by_name("nope"), std::invalid_argument);
+}
+
+TEST(Benchmarks, DimensionsMatchOriginals) {
+  EXPECT_EQ(load(by_name("lion")).num_states(), 4);
+  EXPECT_EQ(load(by_name("lion9")).num_states(), 9);
+  EXPECT_EQ(load(by_name("train11")).num_states(), 11);
+  EXPECT_EQ(load(by_name("traffic")).num_states(), 4);
+  EXPECT_EQ(load(by_name("lion")).num_inputs(), 2);
+  EXPECT_EQ(load(by_name("test_example")).num_inputs(), 3);
+  EXPECT_EQ(load(by_name("traffic")).num_outputs(), 2);
+}
+
+class BenchmarkValidity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkValidity, WellFormedFlowTable) {
+  const FlowTable t = load(by_name(GetParam()));
+  std::string why;
+  EXPECT_TRUE(t.is_normal_mode(&why)) << why;
+  EXPECT_TRUE(t.every_state_has_stable(&why)) << why;
+  EXPECT_TRUE(t.is_strongly_connected(&why)) << why;
+}
+
+TEST_P(BenchmarkValidity, HasMultipleInputChangeTransitions) {
+  const FlowTable t = load(by_name(GetParam()));
+  int mic = 0;
+  for (int s = 0; s < t.num_states(); ++s) {
+    for (int col_a : t.stable_columns(s)) {
+      for (int col_b = 0; col_b < t.num_columns(); ++col_b) {
+        if (col_b == col_a || !t.entry(s, col_b).specified()) continue;
+        if (std::popcount(static_cast<unsigned>(col_a ^ col_b)) > 1) ++mic;
+      }
+    }
+  }
+  EXPECT_GT(mic, 0) << "paper benchmarks must exercise MIC";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkValidity,
+                         ::testing::Values("test_example", "traffic", "lion",
+                                           "lion9", "train11", "train4"));
+
+TEST(Benchmarks, PaperDepthsRecorded) {
+  for (const auto& bench : table1_suite()) {
+    EXPECT_GT(bench.paper_fsv_depth, 0) << bench.name;
+    EXPECT_EQ(bench.paper_y_depth, 5) << bench.name;
+    EXPECT_EQ(bench.paper_total_depth,
+              bench.paper_fsv_depth + bench.paper_y_depth + 1)
+        << bench.name;
+  }
+}
+
+}  // namespace
+}  // namespace seance::bench_suite

@@ -1,0 +1,184 @@
+#include "flowtable/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace seance::flowtable {
+namespace {
+
+FlowTable two_state_toggle() {
+  // s0 stable at 0, s1 stable at 1; input bit toggles the state.
+  FlowTableBuilder b(1, 1);
+  b.on("s0", "0", "s0", "0");
+  b.on("s0", "1", "s1", "-");
+  b.on("s1", "1", "s1", "1");
+  b.on("s1", "0", "s0", "-");
+  return b.build();
+}
+
+TEST(FlowTable, BuilderBasics) {
+  const FlowTable t = two_state_toggle();
+  EXPECT_EQ(t.num_states(), 2);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_TRUE(t.is_stable(0, 0));
+  EXPECT_FALSE(t.is_stable(0, 1));
+  EXPECT_EQ(t.entry(0, 1).next, 1);
+  EXPECT_EQ(t.state_index("s1"), 1);
+  EXPECT_EQ(t.state_index("nope"), -1);
+}
+
+TEST(FlowTable, StableColumns) {
+  const FlowTable t = two_state_toggle();
+  EXPECT_EQ(t.stable_columns(0), std::vector<int>{0});
+  EXPECT_EQ(t.stable_columns(1), std::vector<int>{1});
+}
+
+TEST(FlowTable, OutputsParsed) {
+  const FlowTable t = two_state_toggle();
+  EXPECT_EQ(t.entry(0, 0).outputs[0], Trit::k0);
+  EXPECT_EQ(t.entry(1, 1).outputs[0], Trit::k1);
+  EXPECT_EQ(t.entry(0, 1).outputs[0], Trit::kDC);
+}
+
+TEST(FlowTable, NormalModeAccepts) {
+  EXPECT_TRUE(two_state_toggle().is_normal_mode());
+}
+
+TEST(FlowTable, NormalModeRejectsChained) {
+  FlowTableBuilder b(1, 0);
+  b.on("a", "0", "a");
+  b.on("a", "1", "b");   // b not stable at 1 -> chained
+  b.on("b", "1", "c");
+  b.on("c", "1", "c");
+  b.on("b", "0", "a");
+  b.on("c", "0", "a");
+  const FlowTable t = b.build();
+  std::string why;
+  EXPECT_FALSE(t.is_normal_mode(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(FlowTable, NormalizeRewritesChains) {
+  FlowTableBuilder b(1, 0);
+  b.on("a", "0", "a");
+  b.on("a", "1", "b");
+  b.on("b", "1", "c");
+  b.on("c", "1", "c");
+  b.on("b", "0", "a");
+  b.on("c", "0", "a");
+  FlowTable t = b.build();
+  t.normalize_to_normal_mode();
+  EXPECT_TRUE(t.is_normal_mode());
+  EXPECT_EQ(t.entry(0, 1).next, 2);  // a goes straight to c
+}
+
+TEST(FlowTable, NormalizeDetectsCycle) {
+  FlowTableBuilder b(1, 0);
+  b.on("a", "0", "a");
+  b.on("a", "1", "b");
+  b.on("b", "1", "a");  // a unstable at 1 -> cycle a<->b in column 1
+  b.on("b", "0", "a");
+  FlowTable t = b.build();
+  EXPECT_THROW(t.normalize_to_normal_mode(), std::runtime_error);
+}
+
+TEST(FlowTable, StronglyConnected) {
+  EXPECT_TRUE(two_state_toggle().is_strongly_connected());
+}
+
+TEST(FlowTable, NotStronglyConnected) {
+  FlowTableBuilder b(1, 0);
+  b.on("a", "0", "a");
+  b.on("a", "1", "b");
+  b.on("b", "1", "b");  // no way back to a
+  b.on("b", "0", "b");  // wait: b stable at both columns
+  const FlowTable t = b.build();
+  std::string why;
+  EXPECT_FALSE(t.is_strongly_connected(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(FlowTable, EveryStateHasStable) {
+  EXPECT_TRUE(two_state_toggle().every_state_has_stable());
+  FlowTableBuilder b(1, 0);
+  b.on("a", "0", "a");
+  b.on("a", "1", "b");
+  b.on("b", "1", "b");
+  b.on("b", "0", "a");
+  b.on("c", "0", "a");  // c never stable
+  std::string why;
+  EXPECT_FALSE(b.build().every_state_has_stable(&why));
+}
+
+TEST(FlowTable, StableSuccessorFollowsChain) {
+  FlowTableBuilder b(1, 0);
+  b.on("a", "0", "a");
+  b.on("a", "1", "b");
+  b.on("b", "1", "c");
+  b.on("c", "1", "c");
+  b.on("b", "0", "a");
+  b.on("c", "0", "a");
+  const FlowTable t = b.build();
+  EXPECT_EQ(t.stable_successor(0, 1), 2);
+  EXPECT_EQ(t.stable_successor(0, 0), 0);
+}
+
+TEST(FlowTable, StableSuccessorUnspecified) {
+  FlowTableBuilder b(2, 0);
+  b.on("a", "00", "a");
+  b.on("b", "01", "b");
+  b.on("a", "01", "b");
+  b.on("b", "00", "a");
+  const FlowTable t = b.build();
+  EXPECT_FALSE(t.stable_successor(0, 3).has_value());
+}
+
+TEST(FlowTable, TraceFollowsColumns) {
+  const FlowTable t = two_state_toggle();
+  const std::vector<int> cols = {1, 0, 1};
+  const auto steps = t.trace(0, cols);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].state, 1);
+  EXPECT_EQ(steps[1].state, 0);
+  EXPECT_EQ(steps[2].state, 1);
+  EXPECT_EQ(steps[2].outputs[0], Trit::k1);
+}
+
+TEST(FlowTable, TraceStopsAtUnspecified) {
+  FlowTableBuilder b(2, 0);
+  b.on("a", "00", "a");
+  b.on("b", "01", "b");
+  b.on("a", "01", "b");
+  b.on("b", "00", "a");
+  const FlowTable t = b.build();
+  // Pattern "01" is column 2 (bit i of the column = pattern character i).
+  const std::vector<int> cols = {2, 3};
+  const auto steps = t.trace(0, cols);
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].state, 1);
+  EXPECT_EQ(steps[1].state, -1);
+}
+
+TEST(FlowTable, SetValidation) {
+  FlowTable t(1, 1, 2);
+  EXPECT_THROW(t.set(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(t.set(0, 0, 1, "00"), std::invalid_argument);  // wrong width
+  t.set(0, 0, 0, "1");
+  EXPECT_TRUE(t.is_stable(0, 0));
+}
+
+TEST(FlowTable, ConstructorValidation) {
+  EXPECT_THROW(FlowTable(0, 1, 2), std::invalid_argument);
+  EXPECT_THROW(FlowTable(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(FlowTable(17, 1, 2), std::invalid_argument);
+}
+
+TEST(FlowTable, ToStringMentionsStates) {
+  const std::string s = two_state_toggle().to_string();
+  EXPECT_NE(s.find("s0"), std::string::npos);
+  EXPECT_NE(s.find("s1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seance::flowtable

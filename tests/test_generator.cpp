@@ -1,0 +1,108 @@
+#include "bench_suite/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace seance::bench_suite {
+namespace {
+
+using flowtable::FlowTable;
+
+struct GenCase {
+  int states;
+  int inputs;
+  std::uint64_t seed;
+};
+
+class GeneratorInvariants : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorInvariants, TablesAreWellFormed) {
+  const auto& p = GetParam();
+  GeneratorOptions options;
+  options.num_states = p.states;
+  options.num_inputs = p.inputs;
+  options.num_outputs = 2;
+  options.seed = p.seed;
+  const FlowTable t = generate(options);
+  EXPECT_EQ(t.num_states(), p.states);
+  std::string why;
+  EXPECT_TRUE(t.is_normal_mode(&why)) << why;
+  EXPECT_TRUE(t.every_state_has_stable(&why)) << why;
+  EXPECT_TRUE(t.is_strongly_connected(&why)) << why;
+}
+
+std::vector<GenCase> gen_cases() {
+  std::vector<GenCase> cases;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cases.push_back({4, 2, seed});
+    cases.push_back({6, 3, seed * 3});
+    cases.push_back({10, 4, seed * 7});
+    cases.push_back({16, 5, seed * 11});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratorInvariants, ::testing::ValuesIn(gen_cases()));
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.seed = 42;
+  const FlowTable a = generate(options);
+  const FlowTable b = generate(options);
+  ASSERT_EQ(a.num_states(), b.num_states());
+  for (int s = 0; s < a.num_states(); ++s) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.entry(s, c).next, b.entry(s, c).next);
+      EXPECT_EQ(a.entry(s, c).outputs, b.entry(s, c).outputs);
+    }
+  }
+}
+
+TEST(Generator, SeedsDiffer) {
+  GeneratorOptions a;
+  a.seed = 1;
+  GeneratorOptions b;
+  b.seed = 2;
+  const FlowTable ta = generate(a);
+  const FlowTable tb = generate(b);
+  bool different = false;
+  for (int s = 0; s < ta.num_states() && !different; ++s) {
+    for (int c = 0; c < ta.num_columns() && !different; ++c) {
+      if (ta.entry(s, c).next != tb.entry(s, c).next) different = true;
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Generator, MicBiasProducesMicTransitions) {
+  GeneratorOptions options;
+  options.num_states = 8;
+  options.num_inputs = 4;
+  options.mic_bias = 1.0;
+  options.transition_density = 0.8;
+  options.seed = 5;
+  const FlowTable t = generate(options);
+  int mic = 0;
+  for (int s = 0; s < t.num_states(); ++s) {
+    for (int col_a : t.stable_columns(s)) {
+      for (int col_b = 0; col_b < t.num_columns(); ++col_b) {
+        if (col_b == col_a || !t.entry(s, col_b).specified()) continue;
+        if (std::popcount(static_cast<unsigned>(col_a ^ col_b)) > 1) ++mic;
+      }
+    }
+  }
+  EXPECT_GT(mic, 0);
+}
+
+TEST(Generator, RejectsBadParameters) {
+  GeneratorOptions bad;
+  bad.num_states = 0;
+  EXPECT_THROW((void)generate(bad), std::invalid_argument);
+  GeneratorOptions bad2;
+  bad2.num_inputs = 0;
+  EXPECT_THROW((void)generate(bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace seance::bench_suite

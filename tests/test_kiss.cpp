@@ -1,0 +1,126 @@
+#include "flowtable/kiss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace seance::flowtable {
+namespace {
+
+constexpr const char* kToggle = R"(.i 1
+.o 1
+.s 2
+.p 4
+.r s0
+0 s0 s0 0
+1 s0 s1 -
+1 s1 s1 1
+0 s1 s0 -
+.e
+)";
+
+TEST(Kiss, ParseBasics) {
+  KissInfo info;
+  const FlowTable t = parse_kiss2(kToggle, &info);
+  EXPECT_EQ(t.num_states(), 2);
+  EXPECT_EQ(t.num_inputs(), 1);
+  EXPECT_EQ(t.num_outputs(), 1);
+  EXPECT_EQ(info.declared_products, 4);
+  EXPECT_EQ(info.reset_state, "s0");
+  EXPECT_TRUE(t.is_stable(0, 0));
+  EXPECT_EQ(t.entry(0, 1).next, 1);
+  EXPECT_EQ(t.entry(1, 1).outputs[0], Trit::k1);
+}
+
+TEST(Kiss, WildcardInputExpands) {
+  const char* text = R"(.i 2
+.o 1
+-0 a a 0
+-1 a b 0
+01 b b 1
+11 b b 1
+00 b a -
+10 b a -
+)";
+  const FlowTable t = parse_kiss2(text);
+  // "-0" covers columns 00 and 10 (bit 0 = first char).
+  EXPECT_TRUE(t.is_stable(0, 0));
+  EXPECT_TRUE(t.is_stable(0, 1));
+  EXPECT_EQ(t.entry(0, 2).next, 1);
+  EXPECT_EQ(t.entry(0, 3).next, 1);
+}
+
+TEST(Kiss, CommentsAndBlankLines) {
+  const char* text = R"(# header comment
+.i 1
+.o 1
+
+0 a a 1   # stable
+1 a b -
+1 b b 0
+0 b a -
+)";
+  const FlowTable t = parse_kiss2(text);
+  EXPECT_EQ(t.num_states(), 2);
+  EXPECT_EQ(t.entry(0, 0).outputs[0], Trit::k1);
+}
+
+TEST(Kiss, StarNextIsUnspecified) {
+  const char* text = R"(.i 1
+.o 1
+0 a a 1
+1 a * -
+)";
+  const FlowTable t = parse_kiss2(text);
+  EXPECT_FALSE(t.entry(0, 1).specified());
+}
+
+TEST(Kiss, MissingHeaderThrows) {
+  EXPECT_THROW((void)parse_kiss2("0 a a 1\n"), std::runtime_error);
+}
+
+TEST(Kiss, WrongPatternWidthThrows) {
+  const char* text = ".i 2\n.o 1\n0 a a 1\n";
+  EXPECT_THROW((void)parse_kiss2(text), std::runtime_error);
+}
+
+TEST(Kiss, WrongOutputWidthThrows) {
+  const char* text = ".i 1\n.o 2\n0 a a 1\n";
+  EXPECT_THROW((void)parse_kiss2(text), std::runtime_error);
+}
+
+TEST(Kiss, ConflictingEntriesThrow) {
+  const char* text = R"(.i 1
+.o 1
+0 a a 1
+0 a b 1
+1 b b 0
+)";
+  EXPECT_THROW((void)parse_kiss2(text), std::runtime_error);
+}
+
+TEST(Kiss, UnknownDirectiveThrows) {
+  EXPECT_THROW((void)parse_kiss2(".q 3\n"), std::runtime_error);
+}
+
+TEST(Kiss, RoundTripPreservesTable) {
+  const FlowTable t1 = parse_kiss2(kToggle);
+  const std::string text = to_kiss2(t1);
+  const FlowTable t2 = parse_kiss2(text);
+  ASSERT_EQ(t2.num_states(), t1.num_states());
+  ASSERT_EQ(t2.num_columns(), t1.num_columns());
+  for (int s = 0; s < t1.num_states(); ++s) {
+    for (int c = 0; c < t1.num_columns(); ++c) {
+      const Entry& e1 = t1.entry(s, c);
+      const Entry& e2 = t2.entry(s, c);
+      EXPECT_EQ(e1.specified(), e2.specified());
+      if (e1.specified()) {
+        EXPECT_EQ(t1.state_name(e1.next), t2.state_name(e2.next));
+        EXPECT_EQ(e1.outputs, e2.outputs);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seance::flowtable

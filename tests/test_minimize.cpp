@@ -1,0 +1,251 @@
+#include "minimize/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/generator.hpp"
+#include "flowtable/table.hpp"
+
+namespace seance::minimize {
+namespace {
+
+using bench_suite::GeneratorOptions;
+using flowtable::FlowTable;
+using flowtable::FlowTableBuilder;
+using flowtable::Trit;
+
+// a and a2 are behaviourally identical; b is pinned apart from both by a
+// transient-output conflict in column 1.
+FlowTable redundant_pair_table() {
+  FlowTableBuilder builder(1, 1);
+  builder.on("a", "0", "a", "0");
+  builder.on("a", "1", "b", "1");
+  builder.on("a2", "0", "a2", "0");
+  builder.on("a2", "1", "b", "1");
+  builder.on("b", "1", "b", "0");
+  builder.on("b", "0", "a", "-");
+  return builder.build();
+}
+
+// Three mutually incompatible states: a/c conflict at their shared stable
+// column 0; a/b conflict through a's specified transient output in
+// column 1; b/c conflict at column 0.
+FlowTable irreducible_three() {
+  FlowTableBuilder builder(1, 1);
+  builder.on("a", "0", "a", "0");
+  builder.on("a", "1", "b", "1");
+  builder.on("b", "0", "b", "0");
+  builder.on("b", "1", "b", "0");
+  builder.on("c", "0", "c", "1");
+  builder.on("c", "1", "b", "0");
+  return builder.build();
+}
+
+TEST(Minimize, DirectOutputConflictSeedsIncompatibility) {
+  const FlowTable t = irreducible_three();
+  const auto pairs = compatible_pairs(t);
+  const int a = t.state_index("a");
+  const int b = t.state_index("b");
+  const int c = t.state_index("c");
+  EXPECT_FALSE(pairs[a][c]);  // stable outputs 0 vs 1 in column 0
+  EXPECT_FALSE(pairs[a][b]);  // transient 1 vs stable 0 in column 1
+  EXPECT_FALSE(pairs[b][c]);  // stable outputs 0 vs 1 in column 0
+}
+
+TEST(Minimize, IdenticalStatesAreCompatible) {
+  const FlowTable t = redundant_pair_table();
+  const auto pairs = compatible_pairs(t);
+  EXPECT_TRUE(pairs[t.state_index("a")][t.state_index("a2")]);
+  EXPECT_FALSE(pairs[t.state_index("a")][t.state_index("b")]);
+}
+
+TEST(Minimize, MergesRedundantStates) {
+  const FlowTable t = redundant_pair_table();
+  const ReductionResult r = reduce(t);
+  EXPECT_EQ(r.reduced.num_states(), 2);
+  EXPECT_TRUE(is_closed_cover(t, r.classes));
+  EXPECT_TRUE(r.reduced.is_normal_mode());
+  // a and a2 land in the same reduced state.
+  EXPECT_EQ(r.state_to_class[static_cast<std::size_t>(t.state_index("a"))],
+            r.state_to_class[static_cast<std::size_t>(t.state_index("a2"))]);
+}
+
+TEST(Minimize, IrreducibleTableKeepsAllStates) {
+  const FlowTable t = irreducible_three();
+  const ReductionResult r = reduce(t);
+  EXPECT_EQ(r.reduced.num_states(), 3);
+}
+
+TEST(Minimize, ImpliedPairPropagation) {
+  // a/b agree everywhere visible but imply (c,d), which conflicts at the
+  // shared stable column 1.
+  FlowTableBuilder builder(1, 1);
+  builder.on("a", "0", "a", "0");
+  builder.on("a", "1", "c", "-");
+  builder.on("b", "0", "b", "0");
+  builder.on("b", "1", "d", "-");
+  builder.on("c", "1", "c", "0");
+  builder.on("c", "0", "a", "-");
+  builder.on("d", "1", "d", "1");
+  builder.on("d", "0", "b", "-");
+  const FlowTable t = builder.build();
+  const auto pairs = compatible_pairs(t);
+  EXPECT_FALSE(pairs[t.state_index("c")][t.state_index("d")]);
+  EXPECT_FALSE(pairs[t.state_index("a")][t.state_index("b")]);
+}
+
+TEST(Minimize, MaximalCompatiblesAreCliques) {
+  const FlowTable t = redundant_pair_table();
+  const auto pairs = compatible_pairs(t);
+  const auto mcs = maximal_compatibles(t, pairs);
+  for (StateSet mc : mcs) {
+    EXPECT_TRUE(is_compatible_set(t, pairs, mc));
+  }
+  const StateSet a_pair = (StateSet{1} << t.state_index("a")) |
+                          (StateSet{1} << t.state_index("a2"));
+  bool found = false;
+  for (StateSet mc : mcs) {
+    if ((a_pair & ~mc) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Minimize, ImpliedClassesComputed) {
+  FlowTableBuilder builder(1, 1);
+  builder.on("a", "0", "a", "0");
+  builder.on("a", "1", "c", "-");
+  builder.on("b", "0", "b", "0");
+  builder.on("b", "1", "d", "-");
+  builder.on("c", "1", "c", "0");
+  builder.on("c", "0", "a", "-");
+  builder.on("d", "1", "d", "0");
+  builder.on("d", "0", "b", "-");
+  const FlowTable t = builder.build();
+  const StateSet ab = (StateSet{1} << t.state_index("a")) |
+                      (StateSet{1} << t.state_index("b"));
+  const auto implied = implied_classes(t, ab);
+  const StateSet cd = (StateSet{1} << t.state_index("c")) |
+                      (StateSet{1} << t.state_index("d"));
+  ASSERT_EQ(implied.size(), 1u);
+  EXPECT_EQ(implied[0], cd);
+}
+
+TEST(Minimize, ClosedCoverChecker) {
+  FlowTableBuilder builder(1, 1);
+  builder.on("a", "0", "a", "0");
+  builder.on("a", "1", "c", "-");
+  builder.on("b", "0", "b", "0");
+  builder.on("b", "1", "d", "-");
+  builder.on("c", "1", "c", "0");
+  builder.on("c", "0", "a", "-");
+  builder.on("d", "1", "d", "0");
+  builder.on("d", "0", "b", "-");
+  const FlowTable t = builder.build();
+  const int a = t.state_index("a"), b = t.state_index("b");
+  const int c = t.state_index("c"), d = t.state_index("d");
+  // {a,b} implies {c,d}: choosing singleton c and d breaks closure.
+  std::vector<StateSet> broken = {
+      (StateSet{1} << a) | (StateSet{1} << b),
+      StateSet{1} << c,
+      StateSet{1} << d,
+  };
+  std::string why;
+  EXPECT_FALSE(is_closed_cover(t, broken, &why));
+  EXPECT_FALSE(why.empty());
+  std::vector<StateSet> good = {
+      (StateSet{1} << a) | (StateSet{1} << b),
+      (StateSet{1} << c) | (StateSet{1} << d),
+  };
+  EXPECT_TRUE(is_closed_cover(t, good));
+  std::vector<StateSet> not_covering = {(StateSet{1} << a) | (StateSet{1} << b)};
+  EXPECT_FALSE(is_closed_cover(t, not_covering, &why));
+}
+
+TEST(Minimize, PrimeCompatiblesIncludeUsefulClasses) {
+  const FlowTable t = redundant_pair_table();
+  const auto pairs = compatible_pairs(t);
+  const auto primes = prime_compatibles(t, pairs);
+  EXPECT_FALSE(primes.empty());
+  // Every prime must be a genuine compatible.
+  for (const PrimeCompatible& p : primes) {
+    EXPECT_TRUE(is_compatible_set(t, pairs, p.states));
+  }
+  // Every state must be covered by at least one prime (else no cover exists).
+  StateSet covered = 0;
+  for (const PrimeCompatible& p : primes) covered |= p.states;
+  EXPECT_EQ(covered, (StateSet{1} << t.num_states()) - 1);
+}
+
+TEST(Minimize, Train4CollapsesHard) {
+  const auto& bench = bench_suite::by_name("train4");
+  const FlowTable t = bench_suite::load(bench);
+  const ReductionResult r = reduce(t);
+  EXPECT_LT(r.reduced.num_states(), 4);
+  EXPECT_TRUE(is_closed_cover(t, r.classes));
+  EXPECT_TRUE(r.reduced.is_normal_mode());
+}
+
+TEST(Minimize, Table1SuiteStaysNormalMode) {
+  for (const auto& bench : bench_suite::table1_suite()) {
+    const FlowTable t = bench_suite::load(bench);
+    const ReductionResult r = reduce(t);
+    EXPECT_TRUE(is_closed_cover(t, r.classes)) << bench.name;
+    EXPECT_TRUE(r.reduced.is_normal_mode()) << bench.name;
+    EXPECT_TRUE(r.reduced.every_state_has_stable()) << bench.name;
+    EXPECT_LE(r.reduced.num_states(), t.num_states()) << bench.name;
+  }
+}
+
+// Behavioural soundness: the reduced machine reproduces every specified
+// output of the original along random admissible column walks.
+class MinimizeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimizeEquivalence, RandomTablesTraceEquivalent) {
+  GeneratorOptions gen;
+  gen.seed = GetParam();
+  gen.num_states = 6;
+  gen.num_inputs = 2;
+  gen.num_outputs = 1;
+  const FlowTable t = bench_suite::generate(gen);
+  const ReductionResult r = reduce(t);
+  ASSERT_TRUE(is_closed_cover(t, r.classes));
+
+  std::mt19937_64 rng(GetParam() * 977);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int start = static_cast<int>(rng() % t.num_states());
+    const auto stable = t.stable_columns(start);
+    if (stable.empty()) continue;
+    int cur = start;
+    int cur_reduced = r.state_to_class[static_cast<std::size_t>(start)];
+    int column = stable.front();
+    for (int step = 0; step < 15; ++step) {
+      std::vector<int> options;
+      for (int c = 0; c < t.num_columns(); ++c) {
+        if (c != column && t.entry(cur, c).specified()) options.push_back(c);
+      }
+      if (options.empty()) break;
+      column = options[rng() % options.size()];
+      cur = t.entry(cur, column).next;
+      const auto& reduced_entry = r.reduced.entry(cur_reduced, column);
+      ASSERT_TRUE(reduced_entry.specified())
+          << "reduced machine lost a specified transition";
+      cur_reduced = r.reduced.stable_successor(cur_reduced, column).value();
+      EXPECT_TRUE(r.classes[static_cast<std::size_t>(cur_reduced)] &
+                  (StateSet{1} << cur));
+      const auto& orig_out = t.entry(cur, column).outputs;
+      const auto& red_out = r.reduced.entry(cur_reduced, column).outputs;
+      for (std::size_t k = 0; k < orig_out.size(); ++k) {
+        if (orig_out[k] == Trit::kDC) continue;
+        EXPECT_EQ(orig_out[k], red_out[k]) << "output bit " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace seance::minimize

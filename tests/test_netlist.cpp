@@ -1,0 +1,106 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+
+namespace seance::netlist {
+namespace {
+
+TEST(Netlist, BasicGateConstruction) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g = n.add_gate(GateKind::kAnd, {a, b}, "g");
+  EXPECT_EQ(n.size(), 3);
+  EXPECT_EQ(n.gates()[static_cast<std::size_t>(g)].fanin.size(), 2u);
+  const Netlist::Stats s = n.stats();
+  EXPECT_EQ(s.inputs, 2);
+  EXPECT_EQ(s.logic_gates, 1);
+  EXPECT_EQ(s.literals, 2);
+}
+
+TEST(Netlist, BadFaninThrows) {
+  Netlist n;
+  EXPECT_THROW((void)n.add_gate(GateKind::kAnd, {5}), std::invalid_argument);
+}
+
+TEST(Netlist, PlaceholderConnect) {
+  Netlist n;
+  const int p = n.add_placeholder("fb");
+  const int a = n.add_input("a");
+  n.connect(p, a);
+  EXPECT_EQ(n.gates()[static_cast<std::size_t>(p)].fanin, std::vector<int>{a});
+  EXPECT_THROW(n.connect(p, a), std::logic_error);  // already connected
+}
+
+TEST(Netlist, AddExprBuildsGates) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int c = n.add_input("c");
+  // OR(AND(a, NOR(b, c)), c)
+  const logic::ExprPtr e = logic::Expr::make_or(
+      {logic::Expr::make_and(
+           {logic::Expr::var(0), logic::Expr::make_nor({logic::Expr::var(1),
+                                                        logic::Expr::var(2)})}),
+       logic::Expr::var(2)});
+  const int out = n.add_expr(e, {a, b, c}, "f");
+  EXPECT_GE(out, 0);
+  EXPECT_EQ(n.stats().logic_gates, 3);
+}
+
+TEST(Netlist, OutputsRegistry) {
+  Netlist n;
+  const int a = n.add_input("a");
+  n.set_output("A", a);
+  EXPECT_EQ(n.output("A"), a);
+  EXPECT_THROW((void)n.output("B"), std::invalid_argument);
+}
+
+TEST(Netlist, ToStringDumps) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int g = n.add_gate(GateKind::kNor, {a}, "inv");
+  n.set_output("out", g);
+  const std::string s = n.to_string();
+  EXPECT_NE(s.find("INPUT"), std::string::npos);
+  EXPECT_NE(s.find("NOR"), std::string::npos);
+  EXPECT_NE(s.find("output out"), std::string::npos);
+}
+
+TEST(Netlist, FantomAssemblyHasAllNets) {
+  const auto table = bench_suite::load(bench_suite::by_name("lion"));
+  const core::FantomMachine m = core::synthesize(table);
+  Netlist n;
+  const FantomNets nets = build_fantom(m, n);
+  EXPECT_EQ(static_cast<int>(nets.x.size()), m.layout.num_inputs);
+  EXPECT_EQ(static_cast<int>(nets.y.size()), m.layout.num_state_vars);
+  EXPECT_EQ(static_cast<int>(nets.z.size()), m.table.num_outputs());
+  EXPECT_GE(nets.vom, 0);
+  EXPECT_GE(nets.ssd, 0);
+  EXPECT_GE(nets.fsv, 0);
+  // Feedback placeholders are connected.
+  for (int y : nets.y) {
+    EXPECT_FALSE(n.gates()[static_cast<std::size_t>(y)].fanin.empty());
+  }
+  // Outputs registered.
+  EXPECT_EQ(n.output("VOM"), nets.vom);
+}
+
+TEST(Netlist, FantomOverheadVsBaseline) {
+  const auto table = bench_suite::load(bench_suite::by_name("test_example"));
+  const core::FantomMachine fantom = core::synthesize(table);
+  core::SynthesisOptions base_options;
+  base_options.add_fsv = false;
+  const core::FantomMachine baseline = core::synthesize(table, base_options);
+  Netlist nf, nb;
+  (void)build_fantom(fantom, nf);
+  (void)build_fantom(baseline, nb);
+  EXPECT_GT(nf.stats().logic_gates, nb.stats().logic_gates)
+      << "fsv protection must cost area (the paper's 'some overhead')";
+}
+
+}  // namespace
+}  // namespace seance::netlist

@@ -1,0 +1,220 @@
+#include "sim/gatesim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+#include "sim/harness.hpp"
+
+namespace seance::sim {
+namespace {
+
+TEST(GateSim, CombinationalPropagation) {
+  netlist::Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g = n.add_gate(netlist::GateKind::kAnd, {a, b});
+  GateSim sim(n, DelayOptions{1, 1, 1});
+  sim.force(a, true);
+  sim.force(b, false);
+  ASSERT_TRUE(sim.stabilize(100));
+  EXPECT_FALSE(sim.value(g));
+  sim.set_input(b, true, sim.now() + 1);
+  ASSERT_TRUE(sim.run(sim.now() + 100));
+  EXPECT_TRUE(sim.value(g));
+}
+
+TEST(GateSim, NorAndNotSemantics) {
+  netlist::Netlist n;
+  const int a = n.add_input("a");
+  const int inv = n.add_gate(netlist::GateKind::kNot, {a});
+  const int nor = n.add_gate(netlist::GateKind::kNor, {a, inv});
+  GateSim sim(n, DelayOptions{1, 1, 2});
+  sim.force(a, false);
+  ASSERT_TRUE(sim.stabilize(100));
+  EXPECT_TRUE(sim.value(inv));
+  EXPECT_FALSE(sim.value(nor));  // one input high either way
+}
+
+TEST(GateSim, InertialDelaySwallowsShortPulse) {
+  netlist::Netlist n;
+  const int a = n.add_input("a");
+  const int buf = n.add_gate(netlist::GateKind::kOr, {a});  // delay ~ 5
+  // Give the gate a long delay via options.
+  GateSim sim(n, DelayOptions{5, 5, 3});
+  sim.force(a, false);
+  ASSERT_TRUE(sim.stabilize(100));
+  sim.reset_counters();
+  // 1-time-unit pulse, shorter than the gate delay: must be swallowed.
+  sim.set_input(a, true, sim.now() + 10);
+  sim.set_input(a, false, sim.now() + 11);
+  ASSERT_TRUE(sim.run(sim.now() + 100));
+  EXPECT_FALSE(sim.value(buf));
+  EXPECT_EQ(sim.change_count(buf), 0) << "pulse shorter than delay must vanish";
+}
+
+TEST(GateSim, LongPulsePropagates) {
+  netlist::Netlist n;
+  const int a = n.add_input("a");
+  const int buf = n.add_gate(netlist::GateKind::kOr, {a});
+  GateSim sim(n, DelayOptions{2, 2, 3});
+  sim.force(a, false);
+  ASSERT_TRUE(sim.stabilize(100));
+  sim.reset_counters();
+  sim.set_input(a, true, sim.now() + 10);
+  sim.set_input(a, false, sim.now() + 20);
+  ASSERT_TRUE(sim.run(sim.now() + 100));
+  EXPECT_EQ(sim.change_count(buf), 2);
+}
+
+TEST(GateSim, RingOscillatorHitsDeadline) {
+  netlist::Netlist n;
+  const int p = n.add_placeholder("loop");
+  const int inv = n.add_gate(netlist::GateKind::kNot, {p});
+  n.connect(p, inv);
+  GateSim sim(n, DelayOptions{1, 1, 4});
+  EXPECT_FALSE(sim.stabilize(200)) << "inverter loop must never quiesce";
+}
+
+TEST(GateSim, ChangeCountersAndLastChange) {
+  netlist::Netlist n;
+  const int a = n.add_input("a");
+  const int g = n.add_gate(netlist::GateKind::kOr, {a});
+  GateSim sim(n, DelayOptions{1, 1, 5});
+  sim.force(a, false);
+  ASSERT_TRUE(sim.stabilize(10));
+  sim.reset_counters();
+  sim.set_input(a, true, sim.now() + 5);
+  ASSERT_TRUE(sim.run(sim.now() + 50));
+  EXPECT_EQ(sim.change_count(g), 1);
+  EXPECT_GT(sim.last_change(g), 0u);
+}
+
+class HarnessBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HarnessBenchmarks, ResetParksAtStableState) {
+  const auto table = bench_suite::load(bench_suite::by_name(GetParam()));
+  const core::FantomMachine m = core::synthesize(table);
+  FantomHarness harness(m, HarnessOptions{});
+  const auto stable = m.table.stable_columns(0);
+  ASSERT_FALSE(stable.empty());
+  EXPECT_TRUE(harness.reset(0, stable.front()));
+}
+
+TEST_P(HarnessBenchmarks, RandomWalkIsFailureFree) {
+  const auto table = bench_suite::load(bench_suite::by_name(GetParam()));
+  const core::FantomMachine m = core::synthesize(table);
+  HarnessOptions options;
+  options.max_skew = 2;  // within the loop-delay assumption
+  options.delays.min_gate_delay = 1;
+  options.delays.max_gate_delay = 3;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    options.seed = seed;
+    options.delays.seed = seed * 31;
+    FantomHarness harness(m, options);
+    const auto stable = m.table.stable_columns(0);
+    ASSERT_TRUE(harness.reset(0, stable.front()));
+    const auto summary = harness.random_walk(60, seed * 7);
+    EXPECT_EQ(summary.failures, 0)
+        << GetParam() << " seed " << seed << ": " << summary.applied
+        << " steps, " << summary.mic_steps << " MIC";
+    EXPECT_GT(summary.applied, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, HarnessBenchmarks,
+                         ::testing::Values("test_example", "traffic", "lion",
+                                           "lion9", "train11"));
+
+TEST(Harness, MicStepsAreExercised) {
+  const auto table = bench_suite::load(bench_suite::by_name("test_example"));
+  const core::FantomMachine m = core::synthesize(table);
+  FantomHarness harness(m, HarnessOptions{});
+  ASSERT_TRUE(harness.reset(0, m.table.stable_columns(0).front()));
+  const auto summary = harness.random_walk(80, 3);
+  EXPECT_GT(summary.mic_steps, 0) << "walk must hit multiple-input changes";
+}
+
+TEST(Harness, LikeSuccessiveInputsAccepted) {
+  // FANTOM's extended model allows re-presenting the same input vector;
+  // the handshake must complete with VOM re-asserting and no state change.
+  const auto table = bench_suite::load(bench_suite::by_name("lion"));
+  const core::FantomMachine m = core::synthesize(table);
+  FantomHarness harness(m, HarnessOptions{});
+  const int col = m.table.stable_columns(0).front();
+  ASSERT_TRUE(harness.reset(0, col));
+  const StepResult r = harness.apply_column(col);
+  EXPECT_TRUE(r.applied);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_TRUE(r.vom);
+  EXPECT_TRUE(r.state_correct);
+}
+
+TEST(Harness, AdversarialSkewBreaksBaselineNotFantom) {
+  // Find a hazardous MIC transition in the test example and drive it with
+  // maximal skew on one bit.  The baseline (no fsv, don't-care-filled)
+  // machine is expected to misbehave for at least one delay seed; FANTOM
+  // must stay correct for all of them.
+  const auto table = bench_suite::load(bench_suite::by_name("test_example"));
+  const core::FantomMachine fantom = core::synthesize(table);
+  core::SynthesisOptions base_options;
+  base_options.add_fsv = false;
+  const core::FantomMachine baseline = core::synthesize(table, base_options);
+  ASSERT_FALSE(fantom.hazards.fl.empty());
+
+  int fantom_failures = 0;
+  int baseline_failures = 0;
+  int trials = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const auto& machine : {&fantom, &baseline}) {
+      // Skew 4 sits below FANTOM's protection bound (slow-end fsv cone:
+      // at least OR(3) + one launch gate(1) = 4, usually AND+OR = 6+) but
+      // above the baseline's direct excitation path (2 gates x 1 = 2).
+      HarnessOptions options;
+      options.max_skew = 4;
+      options.delays.min_gate_delay = 1;
+      options.delays.max_gate_delay = 3;
+      options.delays.seed = seed;
+      FantomHarness harness(*machine, options);
+      // Drive every hazardous stable transition with adversarial skew.
+      for (const auto& t : fantom.hazards.fl) {
+        const int s_a = t.state;
+        for (int col_a : machine->table.stable_columns(s_a)) {
+          for (int col_b = 0; col_b < machine->table.num_columns(); ++col_b) {
+            const auto& e = machine->table.entry(s_a, col_b);
+            if (col_b == col_a || !e.specified()) continue;
+            const unsigned diff = static_cast<unsigned>(col_a ^ col_b);
+            if (__builtin_popcount(diff) <= 1) continue;
+            if (!harness.reset(s_a, col_a)) continue;
+            // Stagger: first differing bit immediate, the rest late.
+            std::vector<Time> offsets(static_cast<std::size_t>(
+                                          machine->table.num_inputs()),
+                                      0);
+            bool first = true;
+            for (int i = 0; i < machine->table.num_inputs(); ++i) {
+              if (diff & (1u << i)) {
+                offsets[static_cast<std::size_t>(i)] = first ? 0 : 4;
+                first = false;
+              }
+            }
+            const StepResult r = harness.apply_column_with_skew(col_b, offsets);
+            if (!r.applied) continue;
+            if (machine == &fantom) {
+              ++trials;
+              if (!r.ok()) ++fantom_failures;
+            } else if (!r.ok()) {
+              ++baseline_failures;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(trials, 0);
+  EXPECT_EQ(fantom_failures, 0);
+  EXPECT_GT(baseline_failures, 0)
+      << "the unprotected machine should expose the function hazard";
+}
+
+}  // namespace
+}  // namespace seance::sim

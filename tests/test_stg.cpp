@@ -1,0 +1,144 @@
+#include "stg/stg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesize.hpp"
+#include "flowtable/table.hpp"
+
+namespace seance::stg {
+namespace {
+
+TEST(Stg, ValidateRejectsDanglingTransition) {
+  Stg stg;
+  const int a = stg.add_signal("a", true);
+  (void)stg.add_transition(a, true);  // no arcs at all
+  std::string why;
+  EXPECT_FALSE(stg.validate(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Stg, ValidateRejectsNoInputs) {
+  Stg stg;
+  const int c = stg.add_signal("c", false);
+  const int up = stg.add_transition(c, true);
+  const int dn = stg.add_transition(c, false);
+  stg.add_arc(up, dn, 0);
+  stg.add_arc(dn, up, 1);
+  std::string why;
+  EXPECT_FALSE(stg.validate(&why));
+}
+
+TEST(Stg, TransitionFindOrAdd) {
+  Stg stg;
+  (void)stg.add_signal("req", true);
+  const int t1 = stg.transition("req", true);
+  const int t2 = stg.transition("req", true);
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(stg.transition("req", false), t1);
+  EXPECT_THROW((void)stg.transition("nope", true), std::invalid_argument);
+}
+
+TEST(Stg, ArcValidation) {
+  Stg stg;
+  const int a = stg.add_signal("a", true);
+  const int t = stg.add_transition(a, true);
+  EXPECT_THROW(stg.add_arc(t, 5, 0), std::invalid_argument);
+  EXPECT_THROW(stg.add_arc(t, t, 2), std::invalid_argument);
+}
+
+TEST(Stg, FourPhaseHandshakeConverts) {
+  const Stg stg = four_phase_handshake();
+  std::string why;
+  ASSERT_TRUE(stg.validate(&why)) << why;
+  Stg::ConversionStats stats;
+  const flowtable::FlowTable table = stg.to_flow_table(&stats);
+  EXPECT_EQ(table.num_inputs(), 1);
+  EXPECT_EQ(table.num_outputs(), 1);
+  EXPECT_EQ(table.num_states(), 2);
+  EXPECT_TRUE(table.is_normal_mode(&why)) << why;
+  EXPECT_TRUE(table.is_strongly_connected(&why)) << why;
+  // req=0 row: ack=0; req=1 row: ack=1 (the four-phase protocol).
+  for (int s = 0; s < 2; ++s) {
+    const auto cols = table.stable_columns(s);
+    ASSERT_EQ(cols.size(), 1u);
+    const auto& outs = table.entry(s, cols[0]).outputs;
+    EXPECT_EQ(outs[0] == flowtable::Trit::k1, cols[0] == 1);
+  }
+}
+
+TEST(Stg, ParallelJoinHasMicEntries) {
+  const Stg stg = parallel_join();
+  Stg::ConversionStats stats;
+  const flowtable::FlowTable table = stg.to_flow_table(&stats);
+  EXPECT_EQ(table.num_inputs(), 2);
+  EXPECT_EQ(table.num_outputs(), 1);
+  EXPECT_GT(stats.mic_entries, 0) << "a+/b+ together must appear as a MIC entry";
+  std::string why;
+  EXPECT_TRUE(table.is_normal_mode(&why)) << why;
+  // From the all-zero stable state, driving both inputs to 1 reaches the
+  // c=1 state directly.
+  int rest = -1;
+  for (int s = 0; s < table.num_states(); ++s) {
+    const auto cols = table.stable_columns(s);
+    if (!cols.empty() && cols[0] == 0) rest = s;
+  }
+  ASSERT_GE(rest, 0);
+  const auto& entry = table.entry(rest, 3);
+  ASSERT_TRUE(entry.specified());
+  const auto& outs = table.entry(entry.next, 3).outputs;
+  EXPECT_EQ(outs[0], flowtable::Trit::k1);
+}
+
+TEST(Stg, ParallelJoinIncompletelySpecified) {
+  const flowtable::FlowTable table = parallel_join().to_flow_table();
+  // From the a=1,b=0 intermediate state the environment cannot retract a
+  // (a- is not enabled): that entry stays unspecified.
+  int half = -1;
+  for (int s = 0; s < table.num_states(); ++s) {
+    const auto cols = table.stable_columns(s);
+    // a=1, b=0 and c still low (the state after b- with c high also parks
+    // in column 1, but there a- IS enabled).
+    if (cols.size() == 1 && cols[0] == 1 &&
+        table.entry(s, 1).outputs[0] == flowtable::Trit::k0) {
+      half = s;
+    }
+  }
+  ASSERT_GE(half, 0);
+  EXPECT_FALSE(table.entry(half, 0).specified());
+}
+
+TEST(Stg, InconsistentStgThrows) {
+  // a+ followed by a+ again (no a- in the loop): inconsistent.
+  Stg stg;
+  const int a = stg.add_signal("a", true);
+  const int c = stg.add_signal("c", false);
+  const int a_up = stg.add_transition(a, true);
+  const int c_up = stg.add_transition(c, true);
+  const int c_dn = stg.add_transition(c, false);
+  stg.add_arc(a_up, c_up, 0);
+  stg.add_arc(c_up, c_dn, 0);
+  stg.add_arc(c_dn, a_up, 1);
+  EXPECT_THROW((void)stg.to_flow_table(), std::runtime_error);
+}
+
+TEST(Stg, SynthesizesEndToEnd) {
+  // The STG front-end feeds the standard pipeline (paper §5.1).
+  const flowtable::FlowTable table = parallel_join().to_flow_table();
+  const core::FantomMachine machine = core::synthesize(table);
+  std::string why;
+  EXPECT_TRUE(core::verify_equations(machine, &why)) << why;
+  // The join's simultaneous a/b changes should register as MIC
+  // transitions in the hazard search.
+  EXPECT_GT(machine.hazards.stats.mic_transitions, 0u);
+}
+
+TEST(Stg, HandshakeSynthesizesToTinyMachine) {
+  const flowtable::FlowTable table = four_phase_handshake().to_flow_table();
+  const core::FantomMachine machine = core::synthesize(table);
+  std::string why;
+  EXPECT_TRUE(core::verify_equations(machine, &why)) << why;
+  EXPECT_LE(machine.layout.num_state_vars, 1);
+}
+
+}  // namespace
+}  // namespace seance::stg

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace seance::netlist {
+namespace {
+
+TEST(Verilog, SmallNetlistStructure) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int g = n.add_gate(GateKind::kNor, {a, b}, "g");
+  n.set_output("OUT", g);
+  const std::string v = to_verilog(n, "tiny");
+  EXPECT_NE(v.find("module tiny"), std::string::npos);
+  EXPECT_NE(v.find("input wire a"), std::string::npos);
+  EXPECT_NE(v.find("input wire b"), std::string::npos);
+  EXPECT_NE(v.find("output wire o_OUT"), std::string::npos);
+  EXPECT_NE(v.find("~(a | b)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, ConstAndBufAndNot) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int one = n.add_const(true);
+  const int inv = n.add_gate(GateKind::kNot, {a});
+  const int buf = n.add_placeholder("fb");
+  n.connect(buf, inv);
+  n.set_output("K", one);
+  n.set_output("INV", inv);
+  n.set_output("FB", buf);
+  const std::string v = to_verilog(n, "m");
+  EXPECT_NE(v.find("= 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("= ~a;"), std::string::npos);
+  EXPECT_NE(v.find("assign o_FB"), std::string::npos);
+}
+
+TEST(Verilog, AndOrOperators) {
+  Netlist n;
+  const int a = n.add_input("a");
+  const int b = n.add_input("b");
+  const int c = n.add_input("c");
+  const int g1 = n.add_gate(GateKind::kAnd, {a, b, c});
+  const int g2 = n.add_gate(GateKind::kOr, {g1, c});
+  n.set_output("F", g2);
+  const std::string v = to_verilog(n, "m");
+  EXPECT_NE(v.find("a & b & c"), std::string::npos);
+  EXPECT_NE(v.find(" | "), std::string::npos);
+}
+
+class VerilogSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VerilogSuite, FantomMachinesExport) {
+  const auto table = bench_suite::load(bench_suite::by_name(GetParam()));
+  const auto machine = core::synthesize(table);
+  Netlist n;
+  (void)build_fantom(machine, n);
+  const std::string v = to_verilog(n, "fantom_" + GetParam());
+  EXPECT_NE(v.find("module fantom_" + GetParam()), std::string::npos);
+  EXPECT_NE(v.find("o_VOM"), std::string::npos);
+  EXPECT_NE(v.find("o_SSD"), std::string::npos);
+  EXPECT_NE(v.find("o_fsv"), std::string::npos);
+  // Every wire declared before use: count assigns equals logic+const+buf.
+  int assigns = 0;
+  for (std::size_t pos = 0; (pos = v.find("assign", pos)) != std::string::npos;
+       ++pos) {
+    ++assigns;
+  }
+  EXPECT_GT(assigns, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, VerilogSuite,
+                         ::testing::Values("test_example", "traffic", "lion",
+                                           "lion9", "train11"));
+
+}  // namespace
+}  // namespace seance::netlist

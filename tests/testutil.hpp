@@ -1,0 +1,41 @@
+// Shared helpers for the SEANCE test suite.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace seance::testutil {
+
+/// A random incompletely specified Boolean function over `num_vars`
+/// variables: each minterm is ON with probability `p_on`, DC with
+/// probability `p_dc`, else OFF.
+struct RandomFunction {
+  std::vector<logic::Minterm> on;
+  std::vector<logic::Minterm> dc;
+  std::vector<logic::Minterm> off;
+};
+
+inline RandomFunction random_function(int num_vars, double p_on, double p_dc,
+                                      std::uint64_t seed) {
+  RandomFunction f;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const std::uint32_t space_size = 1u << num_vars;
+  for (logic::Minterm m = 0; m < space_size; ++m) {
+    const double r = dist(rng);
+    if (r < p_on) {
+      f.on.push_back(m);
+    } else if (r < p_on + p_dc) {
+      f.dc.push_back(m);
+    } else {
+      f.off.push_back(m);
+    }
+  }
+  return f;
+}
+
+}  // namespace seance::testutil

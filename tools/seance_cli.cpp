@@ -1,0 +1,170 @@
+// seance — command-line driver for the full synthesis flow.
+//
+//   seance <table.kiss2 | benchmark-name> [options]
+//
+// Options:
+//   --report           print codes, equations, hazard lists (default)
+//   --verilog <file>   write structural Verilog of the FANTOM network
+//   --kiss <file>      write the (reduced) flow table back as KISS2
+//   --verify           run the static ternary verification and the
+//                      gate-level random-walk simulation
+//   --walk <steps>     number of simulated handshakes for --verify (default 500)
+//   --baseline         synthesize without fsv (classic machine)
+//   --no-minimize      skip step 2 (state minimization)
+//   --flat             skip step 7 factoring (two-level SOP)
+//   --quiet            suppress the report
+//
+// Exit code: 0 on success (and, with --verify, zero failures), 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+#include "flowtable/kiss.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/harness.hpp"
+#include "sim/ternary_verify.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: seance <table.kiss2 | benchmark-name> [--report] [--verilog F]\n"
+      "              [--kiss F] [--verify] [--walk N] [--baseline]\n"
+      "              [--no-minimize] [--flat] [--quiet]\n"
+      "built-in benchmarks:");
+  for (const auto& b : seance::bench_suite::table1_suite()) {
+    std::printf(" %s", b.name.c_str());
+  }
+  for (const auto& b : seance::bench_suite::extra_suite()) {
+    std::printf(" %s", b.name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string target;
+  std::string verilog_path;
+  std::string kiss_path;
+  bool verify = false;
+  bool quiet = false;
+  int walk_steps = 500;
+  seance::core::SynthesisOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      // default
+    } else if (arg == "--verilog" && i + 1 < argc) {
+      verilog_path = argv[++i];
+    } else if (arg == "--kiss" && i + 1 < argc) {
+      kiss_path = argv[++i];
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--walk" && i + 1 < argc) {
+      walk_steps = std::atoi(argv[++i]);
+    } else if (arg == "--baseline") {
+      options.add_fsv = false;
+    } else if (arg == "--no-minimize") {
+      options.minimize_states = false;
+    } else if (arg == "--flat") {
+      options.factor = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::printf("unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    } else {
+      target = arg;
+    }
+  }
+  if (target.empty()) {
+    usage();
+    return 1;
+  }
+
+  seance::flowtable::FlowTable table(1, 0, 1);
+  try {
+    if (target.find(".kiss") != std::string::npos ||
+        target.find('/') != std::string::npos) {
+      table = seance::flowtable::load_kiss2_file(target);
+    } else {
+      table = seance::bench_suite::load(seance::bench_suite::by_name(target));
+    }
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+
+  seance::core::FantomMachine machine;
+  try {
+    machine = seance::core::synthesize(table, options);
+  } catch (const std::exception& e) {
+    std::printf("synthesis error: %s\n", e.what());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("%s", machine.report().c_str());
+    std::printf("%s",
+                seance::hazard::to_string(machine.hazards, machine.table).c_str());
+  }
+
+  if (!verilog_path.empty()) {
+    seance::netlist::Netlist netlist;
+    (void)seance::netlist::build_fantom(machine, netlist);
+    std::ofstream out(verilog_path);
+    if (!out) {
+      std::printf("error: cannot write %s\n", verilog_path.c_str());
+      return 1;
+    }
+    out << seance::netlist::to_verilog(netlist, "fantom");
+    if (!quiet) std::printf("wrote %s\n", verilog_path.c_str());
+  }
+  if (!kiss_path.empty()) {
+    std::ofstream out(kiss_path);
+    if (!out) {
+      std::printf("error: cannot write %s\n", kiss_path.c_str());
+      return 1;
+    }
+    out << seance::flowtable::to_kiss2(machine.table);
+    if (!quiet) std::printf("wrote %s\n", kiss_path.c_str());
+  }
+
+  if (verify) {
+    std::string why;
+    if (!seance::core::verify_equations(machine, &why)) {
+      std::printf("equation verification: FAIL (%s)\n", why.c_str());
+      return 1;
+    }
+    std::printf("equation verification: PASS\n");
+    const auto ternary = seance::sim::ternary_verify(machine);
+    std::printf("ternary analysis: %d transitions, %d/%d conservative flags "
+                "(procedure A/B)\n",
+                ternary.transitions_checked, ternary.procedure_a_violations,
+                ternary.procedure_b_violations);
+    seance::sim::HarnessOptions harness_options;
+    harness_options.max_skew = 2;
+    seance::sim::FantomHarness harness(machine, harness_options);
+    const auto cols = machine.table.stable_columns(0);
+    if (cols.empty() || !harness.reset(0, cols.front())) {
+      std::printf("simulation: could not initialize\n");
+      return 1;
+    }
+    const auto summary = harness.random_walk(walk_steps, 1);
+    std::printf("simulation: %d handshakes (%d MIC), %d failures\n",
+                summary.applied, summary.mic_steps, summary.failures);
+    return summary.failures == 0 ? 0 : 1;
+  }
+  return 0;
+}
