@@ -1,0 +1,247 @@
+#include "driver/batch.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "bench_suite/benchmarks.hpp"
+#include "flowtable/kiss.hpp"
+#include "sim/ternary_verify.hpp"
+
+namespace seance::driver {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// RFC-4180 quoting: job names can be arbitrary file paths, so commas,
+// quotes and newlines must not shift the metric columns.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+int resolve_threads(int requested, int jobs) {
+  int n = requested;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  if (n > jobs) n = jobs;
+  return n > 0 ? n : 1;
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kSynthesisError: return "synthesis-error";
+    case JobStatus::kVerifyFailed: return "verify-failed";
+    case JobStatus::kHazardUnclean: return "hazard-unclean";
+  }
+  return "unknown";
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 (Steele et al.) over the combined word: a single step is a
+  // bijection, so distinct (base, index) pairs land far apart.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int BatchReport::ok_count() const {
+  int n = 0;
+  for (const auto& j : jobs) n += j.ok() ? 1 : 0;
+  return n;
+}
+
+int BatchReport::failed_count() const {
+  return static_cast<int>(jobs.size()) - ok_count();
+}
+
+std::string BatchReport::summary(bool per_job) const {
+  std::string out;
+  char line[256];
+  if (per_job) {
+    std::snprintf(line, sizeof(line), "%-24s %5s %5s %4s %4s %6s %7s %6s %9s\n",
+                  "job", "in/out", "st", "vars", "|FL|", "depth", "gates",
+                  "check", "ms");
+    out += line;
+    for (const auto& j : jobs) {
+      std::snprintf(line, sizeof(line),
+                    "%-24s %3d/%-2d %2d>%-2d %4d %4d %2d/%d/%d %7d %6s %9.2f\n",
+                    j.name.c_str(), j.num_inputs, j.num_outputs, j.input_states,
+                    j.synthesized_states, j.state_vars, j.fl_hazards,
+                    j.depth.fsv_depth, j.depth.y_depth, j.depth.total_depth,
+                    j.gate_count, to_string(j.status), j.wall_ms);
+      out += line;
+      if (!j.ok() && !j.detail.empty()) {
+        out += "    ^ " + j.detail + "\n";
+      }
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "batch: %d jobs, %d ok, %d failed (%d threads, %.1f ms)\n",
+                static_cast<int>(jobs.size()), ok_count(), failed_count(),
+                threads_used, wall_ms);
+  out += line;
+  return out;
+}
+
+std::string BatchReport::to_csv() const {
+  std::string out =
+      "name,status,inputs,outputs,input_states,synthesized_states,state_vars,"
+      "fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,gate_count,"
+      "equations_verified,ternary_transitions,ternary_a,ternary_b\n";
+  char metrics[256];
+  for (const auto& j : jobs) {
+    // The name goes through std::string so arbitrarily long paths never
+    // truncate the row; only the bounded numeric tail uses the buffer.
+    std::snprintf(metrics, sizeof(metrics),
+                  ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+                  to_string(j.status), j.num_inputs, j.num_outputs,
+                  j.input_states, j.synthesized_states, j.state_vars,
+                  j.fl_hazards, j.var_hazards, j.depth.fsv_depth,
+                  j.depth.y_depth, j.depth.total_depth, j.gate_count,
+                  j.equations_verified ? 1 : 0, j.ternary_transitions,
+                  j.ternary_a_violations, j.ternary_b_violations);
+    out += csv_escape(j.name);
+    out += metrics;
+  }
+  return out;
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
+
+int BatchRunner::add(JobSpec spec) {
+  jobs_.push_back(std::move(spec));
+  return static_cast<int>(jobs_.size()) - 1;
+}
+
+int BatchRunner::add(std::string name, flowtable::FlowTable table) {
+  return add(JobSpec(std::move(name), std::move(table), options_.synthesis));
+}
+
+void BatchRunner::add_table1_suite() {
+  for (const auto& b : bench_suite::table1_suite()) {
+    add(b.name, bench_suite::load(b));
+  }
+}
+
+void BatchRunner::add_extra_suite() {
+  for (const auto& b : bench_suite::extra_suite()) {
+    add(b.name, bench_suite::load(b));
+  }
+}
+
+void BatchRunner::add_kiss_file(const std::string& path) {
+  add(path, flowtable::load_kiss2_file(path));
+}
+
+void BatchRunner::add_generated(int count,
+                                const bench_suite::GeneratorOptions& base) {
+  for (int i = 0; i < count; ++i) {
+    bench_suite::GeneratorOptions gen = base;
+    gen.seed = derive_seed(base.seed, static_cast<std::uint64_t>(i));
+    char name[64];
+    std::snprintf(name, sizeof(name), "gen-%dx%d-%04d", gen.num_states,
+                  gen.num_inputs, i);
+    add(JobSpec(name, bench_suite::generate(gen), options_.synthesis));
+  }
+}
+
+JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options) {
+  JobResult r;
+  r.name = spec.name;
+  r.num_inputs = spec.table.num_inputs();
+  r.num_outputs = spec.table.num_outputs();
+  r.input_states = spec.table.num_states();
+  const auto start = Clock::now();
+  try {
+    const core::FantomMachine machine = core::synthesize(spec.table, spec.options);
+    r.synthesized_states = machine.table.num_states();
+    r.state_vars = machine.layout.num_state_vars;
+    r.fl_hazards = static_cast<int>(machine.hazards.fl.size());
+    for (const auto& hl : machine.hazards.per_var) {
+      r.var_hazards += static_cast<int>(hl.size());
+    }
+    r.depth = machine.depth_report();
+    r.gate_count = machine.gate_count();
+
+    if (options.verify) {
+      std::string why;
+      r.equations_verified = core::verify_equations(machine, &why);
+      if (!r.equations_verified) {
+        r.status = JobStatus::kVerifyFailed;
+        r.detail = why;
+      }
+    }
+    if (options.ternary && r.status == JobStatus::kOk) {
+      const sim::TernaryReport ternary = sim::ternary_verify(machine);
+      r.ternary_transitions = ternary.transitions_checked;
+      r.ternary_a_violations = ternary.procedure_a_violations;
+      r.ternary_b_violations = ternary.procedure_b_violations;
+      // Baseline (fsv-less) machines are *expected* to flag here — that is
+      // the paper's comparison point — so at most protected machines fail,
+      // and only when the caller asked for the strict interpretation.
+      if (options.ternary_strict && !ternary.clean() && spec.options.add_fsv) {
+        r.status = JobStatus::kHazardUnclean;
+        r.detail = ternary.first_failure;
+      }
+    }
+  } catch (const std::exception& e) {
+    r.status = JobStatus::kSynthesisError;
+    r.detail = e.what();
+  } catch (...) {
+    r.status = JobStatus::kSynthesisError;
+    r.detail = "unknown exception";
+  }
+  r.wall_ms = ms_since(start);
+  return r;
+}
+
+BatchReport BatchRunner::run() const {
+  BatchReport report;
+  report.jobs.resize(jobs_.size());
+  const int threads = resolve_threads(options_.threads, job_count());
+  report.threads_used = threads;
+  const auto start = Clock::now();
+
+  // Work-stealing by atomic index: workers write disjoint slots of
+  // report.jobs, so the only shared state is the counter.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs_.size()) return;
+      report.jobs[i] = run_job(jobs_[i], options_);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  report.wall_ms = ms_since(start);
+  return report;
+}
+
+}  // namespace seance::driver

@@ -1,0 +1,151 @@
+// Parallel batch-synthesis driver.
+//
+// Production workloads (corpus regression, parameter sweeps, CI gating)
+// run thousands of flow tables through the SEANCE pipeline; doing that
+// one table at a time in a shell loop re-pays process startup per job and
+// loses the per-job metrics.  BatchRunner owns a corpus of JobSpecs —
+// built-in Table-1 benchmarks, KISS2 files, and generator tables with
+// deterministic per-job seeds — and executes core::synthesize plus the
+// requested verification passes across a thread pool, collecting one
+// JobResult per job in submission order.
+//
+// Determinism contract: result i is a pure function of job i's spec, so
+// reports are byte-identical across runs and thread counts.  Failure
+// isolation: a job that throws is recorded as kSynthesisError and the
+// rest of the batch proceeds.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_suite/generator.hpp"
+#include "core/synthesize.hpp"
+#include "flowtable/table.hpp"
+
+namespace seance::driver {
+
+enum class JobStatus : std::uint8_t {
+  kOk = 0,          ///< synthesized; every requested check passed
+  kSynthesisError,  ///< core::synthesize (or table prep) threw
+  kVerifyFailed,    ///< core::verify_equations rejected the machine
+  kHazardUnclean,   ///< ternary flags, promoted to failure only under
+                    ///< BatchOptions::ternary_strict (Eichelberger is
+                    ///< conservative for MIC transitions, so flags are
+                    ///< recorded as metrics by default)
+};
+
+[[nodiscard]] const char* to_string(JobStatus status);
+
+/// One unit of work: a named table plus its synthesis options.
+struct JobSpec {
+  std::string name;
+  flowtable::FlowTable table;
+  core::SynthesisOptions options;
+
+  JobSpec() : table(1, 0, 1) {}
+  JobSpec(std::string n, flowtable::FlowTable t, core::SynthesisOptions o = {})
+      : name(std::move(n)), table(std::move(t)), options(o) {}
+};
+
+struct JobResult {
+  std::string name;
+  JobStatus status = JobStatus::kOk;
+  std::string detail;  ///< error / failure reason, empty on success
+
+  // Table shape (input side and after reduction).
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int input_states = 0;
+  int synthesized_states = 0;
+  int state_vars = 0;
+
+  // Table-1 style metrics.
+  int fl_hazards = 0;   ///< |FL| — fsv ON-set size
+  int var_hazards = 0;  ///< sum over HL_n
+  core::DepthReport depth;
+  int gate_count = 0;
+
+  // Verification outcomes (only meaningful for the passes that ran).
+  bool equations_verified = false;
+  int ternary_transitions = 0;
+  int ternary_a_violations = 0;
+  int ternary_b_violations = 0;
+
+  double wall_ms = 0.0;
+
+  [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
+};
+
+struct BatchReport {
+  std::vector<JobResult> jobs;  ///< submission order, one per job
+  int threads_used = 0;
+  double wall_ms = 0.0;  ///< end-to-end batch wall time
+
+  [[nodiscard]] int ok_count() const;
+  [[nodiscard]] int failed_count() const;
+  [[nodiscard]] bool all_ok() const { return failed_count() == 0; }
+
+  /// Human-readable per-job table plus a totals line.
+  [[nodiscard]] std::string summary(bool per_job = true) const;
+  /// Machine-readable CSV (header + one row per job). Deterministic.
+  [[nodiscard]] std::string to_csv() const;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Run core::verify_equations on every synthesized machine.
+  bool verify = true;
+  /// Run sim::ternary_verify (Eichelberger procedures A/B) as well.
+  bool ternary = true;
+  /// Promote ternary flags on protected machines to kHazardUnclean.
+  /// Off by default: procedure A/B are conservative over MIC intermediates
+  /// (see test_ternary_verify), so flags are metrics, not verdicts.
+  bool ternary_strict = false;
+  /// Synthesis options used by the corpus-building helpers below.
+  core::SynthesisOptions synthesis;
+};
+
+/// Deterministic per-job seed: splitmix64 of (base, index).  Stable across
+/// platforms and releases — golden batch reports depend on it.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  /// Enqueues one job; returns its index in the final report.
+  int add(JobSpec spec);
+  int add(std::string name, flowtable::FlowTable table);
+
+  /// The paper's five Table-1 benchmarks, in paper order.
+  void add_table1_suite();
+  /// The regression extras (train4 and friends).
+  void add_extra_suite();
+  /// Parses a KISS2 file and enqueues it (throws on parse errors — a file
+  /// that cannot be read is a corpus bug, not a job failure).
+  void add_kiss_file(const std::string& path);
+  /// `count` generator tables derived from `base`; job i uses seed
+  /// derive_seed(base.seed, i), so the corpus is reproducible and
+  /// independent of thread schedule.
+  void add_generated(int count, const bench_suite::GeneratorOptions& base);
+
+  [[nodiscard]] int job_count() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] const std::vector<JobSpec>& jobs() const { return jobs_; }
+
+  /// Runs the whole corpus across the pool and returns the report.
+  [[nodiscard]] BatchReport run() const;
+
+  /// Executes a single spec inline (the pool's worker body; exposed for
+  /// tests and for callers that want their own scheduling).
+  [[nodiscard]] static JobResult run_job(const JobSpec& spec,
+                                         const BatchOptions& options);
+
+ private:
+  BatchOptions options_;
+  std::vector<JobSpec> jobs_;
+};
+
+}  // namespace seance::driver

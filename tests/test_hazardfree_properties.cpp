@@ -9,8 +9,10 @@
 #include "bench_suite/benchmarks.hpp"
 #include "bench_suite/generator.hpp"
 #include "core/synthesize.hpp"
+#include "driver/batch.hpp"
 #include "logic/qm.hpp"
 #include "logic/ternary.hpp"
+#include "sim/ternary_verify.hpp"
 
 namespace seance {
 namespace {
@@ -188,6 +190,75 @@ TEST_P(RandomHold, InvariantBitsHeldAtIntermediates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomHold,
                          ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u));
+
+// Corpus-scale properties: generator tables pushed through BatchRunner,
+// with every recorded hazard metric cross-checked against a direct
+// re-synthesis and the Eichelberger ternary procedures.
+class BatchProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchProperties, ReportAgreesWithDirectTernaryVerify) {
+  driver::BatchOptions options;
+  options.threads = 4;
+  driver::BatchRunner runner(options);
+  bench_suite::GeneratorOptions gen;
+  gen.num_states = 5;
+  gen.num_inputs = 3;
+  gen.seed = GetParam();
+  runner.add_generated(6, gen);
+  const auto report = runner.run();
+  ASSERT_TRUE(report.all_ok()) << report.summary();
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const auto& job = report.jobs[i];
+    const auto machine = core::synthesize(runner.jobs()[i].table);
+    // Every protected machine the batch passed must satisfy the pipeline's
+    // own functional cross-check and SIC hazard-freedom of its Y covers.
+    EXPECT_TRUE(core::verify_equations(machine));
+    for (const auto& eq : machine.y) {
+      EXPECT_TRUE(logic::sic_static1_hazard_free(eq.cover)) << job.name;
+    }
+    // The recorded ternary counts are exactly what a direct run yields —
+    // the report is a faithful, deterministic view of sim/ternary_verify.
+    const auto ternary = sim::ternary_verify(machine);
+    EXPECT_EQ(job.ternary_transitions, ternary.transitions_checked) << job.name;
+    EXPECT_EQ(job.ternary_a_violations, ternary.procedure_a_violations)
+        << job.name;
+    EXPECT_EQ(job.ternary_b_violations, ternary.procedure_b_violations)
+        << job.name;
+    EXPECT_EQ(job.fl_hazards, static_cast<int>(machine.hazards.fl.size()))
+        << job.name;
+  }
+}
+
+TEST_P(BatchProperties, FsvNoWorseThanNaiveAcrossCorpus) {
+  // Table-1's comparative claim at corpus scale: per generated table, the
+  // protected machine never shows more Procedure-A flags than the naive
+  // (no-fsv, no-consensus) synthesis of the same table.
+  driver::BatchOptions fantom;
+  fantom.threads = 4;
+  driver::BatchOptions naive = fantom;
+  naive.synthesis.add_fsv = false;
+  naive.synthesis.consensus_repair = false;
+  driver::BatchRunner fr(fantom), nr(naive);
+  bench_suite::GeneratorOptions gen;
+  gen.num_states = 6;
+  gen.num_inputs = 3;
+  gen.mic_bias = 1.0;
+  gen.transition_density = 0.8;
+  gen.seed = GetParam();
+  fr.add_generated(6, gen);
+  nr.add_generated(6, gen);
+  const auto fantom_report = fr.run();
+  const auto naive_report = nr.run();
+  ASSERT_EQ(fantom_report.jobs.size(), naive_report.jobs.size());
+  for (std::size_t i = 0; i < fantom_report.jobs.size(); ++i) {
+    EXPECT_LE(fantom_report.jobs[i].ternary_a_violations,
+              naive_report.jobs[i].ternary_a_violations)
+        << fantom_report.jobs[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchProperties,
+                         ::testing::Values(3u, 9u, 27u, 81u));
 
 }  // namespace
 }  // namespace seance

@@ -2,10 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace seance::flowtable {
 namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(SEANCE_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 constexpr const char* kToggle = R"(.i 1
 .o 1
@@ -120,6 +135,49 @@ TEST(Kiss, RoundTripPreservesTable) {
       }
     }
   }
+}
+
+// Golden-file regressions: serializing each fixture must reproduce the
+// checked-in .golden.kiss2 byte for byte.  A diff here means the KISS
+// writer's canonical form changed — regenerate the goldens deliberately
+// (tests/data/README.md) rather than papering over it.
+class KissGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KissGolden, SerializationMatchesGolden) {
+  const FlowTable table = load_kiss2_file(data_path(GetParam() + ".kiss2"));
+  EXPECT_EQ(to_kiss2(table), read_file(data_path(GetParam() + ".golden.kiss2")));
+}
+
+TEST_P(KissGolden, GoldenIsASerializationFixpoint) {
+  // Parsing the canonical form and re-serializing must be the identity.
+  const std::string golden = read_file(data_path(GetParam() + ".golden.kiss2"));
+  EXPECT_EQ(to_kiss2(parse_kiss2(golden)), golden);
+}
+
+TEST_P(KissGolden, FileRoundTripPreservesEverySpecifiedEntry) {
+  const FlowTable t1 = load_kiss2_file(data_path(GetParam() + ".kiss2"));
+  const FlowTable t2 = parse_kiss2(to_kiss2(t1));
+  ASSERT_EQ(t2.num_states(), t1.num_states());
+  ASSERT_EQ(t2.num_columns(), t1.num_columns());
+  for (int s = 0; s < t1.num_states(); ++s) {
+    for (int c = 0; c < t1.num_columns(); ++c) {
+      const Entry& e1 = t1.entry(s, c);
+      const Entry& e2 = t2.entry(s, c);
+      ASSERT_EQ(e1.specified(), e2.specified());
+      if (e1.specified()) {
+        EXPECT_EQ(t1.state_name(e1.next), t2.state_name(e2.next));
+        EXPECT_EQ(e1.outputs, e2.outputs);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, KissGolden,
+                         ::testing::Values("toggle", "door", "wildcard"));
+
+TEST(Kiss, MissingFileThrows) {
+  EXPECT_THROW((void)load_kiss2_file(data_path("does-not-exist.kiss2")),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,8 +1,28 @@
 // seance — command-line driver for the full synthesis flow.
 //
 //   seance <table.kiss2 | benchmark-name> [options]
+//   seance batch [batch options]
 //
-// Options:
+// Batch mode runs a corpus (the Table-1 suite plus generated tables and
+// any KISS2 files) through the pipeline on a thread pool and prints a
+// per-job verify report:
+//   --jobs N           worker threads (default: hardware concurrency)
+//   --random N         generated tables (default 100)
+//   --states/--inputs/--outputs N   generator shape (default 6/3/2)
+//   --density D        generator transition density (default 0.5)
+//   --mic-bias B       generator MIC bias (default 0.7)
+//   --seed S           base seed for deterministic per-job seeds (default 1)
+//   --no-suite         skip the built-in Table-1 suite
+//   --extra            also run the extra regression suite
+//   --kiss-file F      add a KISS2 file as a job (repeatable)
+//   --no-ternary       skip the Eichelberger ternary pass
+//   --strict-ternary   fail jobs whose ternary pass flags (conservative!)
+//   --no-verify        skip the equation cross-check
+//   --csv F            write the per-job report as CSV
+//   --quiet            totals line only
+// (--baseline/--no-minimize/--flat apply to every batch job too.)
+//
+// Single-table options:
 //   --report           print codes, equations, hazard lists (default)
 //   --verilog <file>   write structural Verilog of the FANTOM network
 //   --kiss <file>      write the (reduced) flow table back as KISS2
@@ -21,8 +41,12 @@
 #include <fstream>
 #include <string>
 
+#include <cstdlib>
+#include <vector>
+
 #include "bench_suite/benchmarks.hpp"
 #include "core/synthesize.hpp"
+#include "driver/batch.hpp"
 #include "flowtable/kiss.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/harness.hpp"
@@ -35,6 +59,11 @@ void usage() {
       "usage: seance <table.kiss2 | benchmark-name> [--report] [--verilog F]\n"
       "              [--kiss F] [--verify] [--walk N] [--baseline]\n"
       "              [--no-minimize] [--flat] [--quiet]\n"
+      "       seance batch [--jobs N] [--random N] [--states N] [--inputs N]\n"
+      "              [--outputs N] [--density D] [--mic-bias B] [--seed S]\n"
+      "              [--no-suite] [--extra] [--kiss-file F] [--no-ternary]\n"
+      "              [--strict-ternary] [--no-verify] [--csv F] [--baseline]\n"
+      "              [--no-minimize] [--flat] [--quiet]\n"
       "built-in benchmarks:");
   for (const auto& b : seance::bench_suite::table1_suite()) {
     std::printf(" %s", b.name.c_str());
@@ -45,12 +74,135 @@ void usage() {
   std::printf("\n");
 }
 
+int run_batch(int argc, char** argv) {
+  seance::driver::BatchOptions options;
+  seance::bench_suite::GeneratorOptions gen;
+  int random_count = 100;
+  bool suite = true;
+  bool extra = false;
+  bool quiet = false;
+  std::string csv_path;
+  std::vector<std::string> kiss_files;
+
+  bool parse_error = false;
+  for (int i = 2; i < argc && !parse_error; ++i) {
+    const std::string arg = argv[i];
+    // Valued options demand a well-formed value: a missing or non-numeric
+    // one is an error, never a silent fallback (and never eats the next
+    // flag as its value).
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("option %s requires a value\n", arg.c_str());
+        parse_error = true;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto parse_num = [&](auto& out, auto convert) {
+      const char* v = next_value();
+      if (!v) return;
+      char* end = nullptr;
+      const auto n = convert(v, &end);
+      if (end == v || *end != '\0') {
+        std::printf("option %s needs a number, got '%s'\n", arg.c_str(), v);
+        parse_error = true;
+        return;
+      }
+      out = static_cast<std::remove_reference_t<decltype(out)>>(n);
+    };
+    auto next_int = [&](auto& out) {
+      parse_num(out, [](const char* s, char** e) { return std::strtol(s, e, 10); });
+    };
+    auto next_double = [&](auto& out) {
+      parse_num(out, [](const char* s, char** e) { return std::strtod(s, e); });
+    };
+    if (arg == "--jobs") {
+      next_int(options.threads);
+    } else if (arg == "--random") {
+      next_int(random_count);
+    } else if (arg == "--states") {
+      next_int(gen.num_states);
+    } else if (arg == "--inputs") {
+      next_int(gen.num_inputs);
+    } else if (arg == "--outputs") {
+      next_int(gen.num_outputs);
+    } else if (arg == "--density") {
+      next_double(gen.transition_density);
+    } else if (arg == "--mic-bias") {
+      next_double(gen.mic_bias);
+    } else if (arg == "--seed") {
+      parse_num(gen.seed,
+                [](const char* s, char** e) { return std::strtoull(s, e, 10); });
+    } else if (arg == "--no-suite") {
+      suite = false;
+    } else if (arg == "--extra") {
+      extra = true;
+    } else if (arg == "--kiss-file") {
+      if (const char* v = next_value()) kiss_files.emplace_back(v);
+    } else if (arg == "--no-ternary") {
+      options.ternary = false;
+    } else if (arg == "--strict-ternary") {
+      options.ternary_strict = true;
+    } else if (arg == "--no-verify") {
+      options.verify = false;
+    } else if (arg == "--csv") {
+      if (const char* v = next_value()) csv_path = v;
+    } else if (arg == "--baseline") {
+      options.synthesis.add_fsv = false;
+    } else if (arg == "--no-minimize") {
+      options.synthesis.minimize_states = false;
+    } else if (arg == "--flat") {
+      options.synthesis.factor = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::printf("unknown batch option %s\n", arg.c_str());
+      parse_error = true;
+    }
+  }
+  if (parse_error) {
+    usage();
+    return 1;
+  }
+
+  seance::driver::BatchRunner runner(options);
+  try {
+    if (suite) runner.add_table1_suite();
+    if (extra) runner.add_extra_suite();
+    for (const auto& path : kiss_files) runner.add_kiss_file(path);
+    if (random_count > 0) runner.add_generated(random_count, gen);
+  } catch (const std::exception& e) {
+    std::printf("corpus error: %s\n", e.what());
+    return 1;
+  }
+  if (runner.job_count() == 0) {
+    std::printf("batch: empty corpus\n");
+    return 1;
+  }
+
+  const auto report = runner.run();
+  std::printf("%s", report.summary(/*per_job=*/!quiet).c_str());
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::printf("error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    out << report.to_csv();
+    if (!quiet) std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return report.all_ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
     return 1;
+  }
+  if (std::strcmp(argv[1], "batch") == 0) {
+    return run_batch(argc, argv);
   }
   std::string target;
   std::string verilog_path;
