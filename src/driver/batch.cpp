@@ -2,8 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -50,8 +54,44 @@ const char* to_string(JobStatus status) {
     case JobStatus::kSynthesisError: return "synthesis-error";
     case JobStatus::kVerifyFailed: return "verify-failed";
     case JobStatus::kHazardUnclean: return "hazard-unclean";
+    case JobStatus::kTimeout: return "timeout";
   }
   return "unknown";
+}
+
+std::optional<JobStatus> status_from_string(std::string_view s) {
+  for (const JobStatus status :
+       {JobStatus::kOk, JobStatus::kSynthesisError, JobStatus::kVerifyFailed,
+        JobStatus::kHazardUnclean, JobStatus::kTimeout}) {
+    if (s == to_string(status)) return status;
+  }
+  return std::nullopt;
+}
+
+std::string format_fixed(double value, int decimals) {
+  if (decimals < 0) decimals = 0;
+  if (decimals > 9) decimals = 9;
+  std::uint64_t scale = 1;
+  for (int i = 0; i < decimals; ++i) scale *= 10;
+  const bool negative = std::signbit(value) && value != 0.0;
+  double magnitude = negative ? -value : value;
+  if (!std::isfinite(magnitude)) magnitude = 0.0;
+  // Round half away from zero, saturating instead of overflowing the
+  // integer domain (a saturated wall time is already meaningless).
+  const double scaled = magnitude * static_cast<double>(scale) + 0.5;
+  const std::uint64_t units =
+      scaled >= 9.2e18 ? std::uint64_t{9'200'000'000'000'000'000ull}
+                       : static_cast<std::uint64_t>(scaled);
+  std::string out;
+  if (negative && units != 0) out += '-';
+  out += std::to_string(units / scale);
+  if (decimals > 0) {
+    const std::string frac = std::to_string(units % scale);
+    out += '.';
+    out.append(static_cast<std::size_t>(decimals) - frac.size(), '0');
+    out += frac;
+  }
+  return out;
 }
 
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
@@ -102,17 +142,16 @@ std::string BatchReport::summary(bool per_job) const {
   return out;
 }
 
-std::string BatchReport::to_csv() const {
-  std::string out =
-      "name,status,inputs,outputs,input_states,synthesized_states,state_vars,"
-      "fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,gate_count,"
-      "equations_verified,ternary_transitions,ternary_a,ternary_b\n";
+std::string BatchReport::to_csv(bool with_wall_ms) const {
+  std::string out{kCsvHeader};
+  if (with_wall_ms) out += ",wall_ms";
+  out += '\n';
   char metrics[256];
   for (const auto& j : jobs) {
     // The name goes through std::string so arbitrarily long paths never
     // truncate the row; only the bounded numeric tail uses the buffer.
     std::snprintf(metrics, sizeof(metrics),
-                  ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+                  ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
                   to_string(j.status), j.num_inputs, j.num_outputs,
                   j.input_states, j.synthesized_states, j.state_vars,
                   j.fl_hazards, j.var_hazards, j.depth.fsv_depth,
@@ -121,6 +160,11 @@ std::string BatchReport::to_csv() const {
                   j.ternary_a_violations, j.ternary_b_violations);
     out += csv_escape(j.name);
     out += metrics;
+    if (with_wall_ms) {
+      out += ',';
+      out += format_fixed(j.wall_ms, 3);
+    }
+    out += '\n';
   }
   return out;
 }
@@ -162,6 +206,49 @@ void BatchRunner::add_generated(int count,
                   gen.num_inputs, i);
     add(JobSpec(name, bench_suite::generate(gen), options_.synthesis));
   }
+}
+
+JobResult run_with_deadline(std::string name, double timeout_ms,
+                            std::function<JobResult()> body) {
+  // The worker publishes into shared state it co-owns: on timeout we walk
+  // away and the abandoned thread still has somewhere valid to write.
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    JobResult result;
+  };
+  auto slot = std::make_shared<Slot>();
+  std::thread([slot, body = std::move(body), name] {
+    JobResult r;
+    try {
+      r = body();
+    } catch (const std::exception& e) {
+      r.name = name;
+      r.status = JobStatus::kSynthesisError;
+      r.detail = e.what();
+    } catch (...) {
+      r.name = name;
+      r.status = JobStatus::kSynthesisError;
+      r.detail = "unknown exception";
+    }
+    const std::lock_guard<std::mutex> lock(slot->m);
+    slot->result = std::move(r);
+    slot->done = true;
+    slot->cv.notify_all();
+  }).detach();
+
+  std::unique_lock<std::mutex> lock(slot->m);
+  if (slot->cv.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms),
+                        [&] { return slot->done; })) {
+    return std::move(slot->result);
+  }
+  JobResult r;
+  r.name = std::move(name);
+  r.status = JobStatus::kTimeout;
+  r.detail = "exceeded " + format_fixed(timeout_ms, 0) + " ms (worker abandoned)";
+  r.wall_ms = timeout_ms;
+  return r;
 }
 
 JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options) {
@@ -222,13 +309,38 @@ BatchReport BatchRunner::run() const {
   const auto start = Clock::now();
 
   // Work-stealing by atomic index: workers write disjoint slots of
-  // report.jobs, so the only shared state is the counter.
+  // report.jobs; the counter and the progress channel are the only shared
+  // state.
   std::atomic<std::size_t> next{0};
+  std::mutex progress_m;
+  int completed = 0;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs_.size()) return;
-      report.jobs[i] = run_job(jobs_[i], options_);
+      const JobSpec& spec = jobs_[i];
+      if (options_.job_timeout_ms > 0) {
+        // The watchdog body owns a copy of the spec: an abandoned worker
+        // may outlive this runner (and even this run() call).
+        report.jobs[i] = run_with_deadline(
+            spec.name, options_.job_timeout_ms,
+            [spec, synthesis_options = options_]() mutable {
+              synthesis_options.on_result = nullptr;
+              return run_job(spec, synthesis_options);
+            });
+        if (report.jobs[i].status == JobStatus::kTimeout) {
+          report.jobs[i].num_inputs = spec.table.num_inputs();
+          report.jobs[i].num_outputs = spec.table.num_outputs();
+          report.jobs[i].input_states = spec.table.num_states();
+        }
+      } else {
+        report.jobs[i] = run_job(spec, options_);
+      }
+      if (options_.on_result) {
+        const std::lock_guard<std::mutex> lock(progress_m);
+        options_.on_result(report.jobs[i], ++completed,
+                           static_cast<int>(jobs_.size()));
+      }
     }
   };
   if (threads <= 1) {

@@ -17,7 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_suite/generator.hpp"
@@ -34,9 +37,27 @@ enum class JobStatus : std::uint8_t {
                     ///< BatchOptions::ternary_strict (Eichelberger is
                     ///< conservative for MIC transitions, so flags are
                     ///< recorded as metrics by default)
+  kTimeout,         ///< exceeded BatchOptions::job_timeout_ms; the worker
+                    ///< is abandoned so the rest of the batch proceeds
 };
 
 [[nodiscard]] const char* to_string(JobStatus status);
+/// Inverse of to_string; nullopt for unknown spellings.  Persisted
+/// reports (src/store) round-trip statuses through these two.
+[[nodiscard]] std::optional<JobStatus> status_from_string(std::string_view s);
+
+/// Fixed-point decimal formatting via integer math: the emitted bytes are
+/// independent of the process locale (snprintf honours LC_NUMERIC) and of
+/// the C library, so golden CSV files stay byte-stable everywhere.
+/// `decimals` is clamped to [0, 9]; non-finite values format as 0.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Exact BatchReport::to_csv() header (no trailing newline, without the
+/// optional wall_ms column).  Persisted reports validate against this.
+inline constexpr std::string_view kCsvHeader =
+    "name,status,inputs,outputs,input_states,synthesized_states,state_vars,"
+    "fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,gate_count,"
+    "equations_verified,ternary_transitions,ternary_a,ternary_b";
 
 /// One unit of work: a named table plus its synthesis options.
 struct JobSpec {
@@ -89,8 +110,11 @@ struct BatchReport {
 
   /// Human-readable per-job table plus a totals line.
   [[nodiscard]] std::string summary(bool per_job = true) const;
-  /// Machine-readable CSV (header + one row per job). Deterministic.
-  [[nodiscard]] std::string to_csv() const;
+  /// Machine-readable CSV (header + one row per job).  Deterministic by
+  /// default; `with_wall_ms` appends a wall_ms column (format_fixed, three
+  /// decimals) for perf tracking — never use it for golden files, wall
+  /// time is not a pure function of the spec.
+  [[nodiscard]] std::string to_csv(bool with_wall_ms = false) const;
 };
 
 struct BatchOptions {
@@ -104,9 +128,29 @@ struct BatchOptions {
   /// Off by default: procedure A/B are conservative over MIC intermediates
   /// (see test_ternary_verify), so flags are metrics, not verdicts.
   bool ternary_strict = false;
+  /// Per-job wall-clock budget in milliseconds; 0 disables the watchdog.
+  /// A job that overruns is recorded as kTimeout and its worker thread is
+  /// abandoned (synthesis has no cancellation points), so one pathological
+  /// table cannot hang a CI gate.  Timeout verdicts depend on machine
+  /// speed — pick budgets far above normal job times when reports must be
+  /// reproducible.
+  double job_timeout_ms = 0;
+  /// Streaming progress: called once per finished job, serialized, in
+  /// completion (not submission) order.  `completed` counts calls so far,
+  /// `total` is the corpus size.  Leave empty for silent runs.
+  std::function<void(const JobResult& result, int completed, int total)>
+      on_result;
   /// Synthesis options used by the corpus-building helpers below.
   core::SynthesisOptions synthesis;
 };
+
+/// Runs `body` on a watchdog thread and waits at most `timeout_ms`: on
+/// time, returns body's result; otherwise returns a kTimeout JobResult
+/// and abandons the (detached) worker.  A body that throws yields a
+/// kSynthesisError result; timeout and error results carry `name`.
+/// Exposed so tests can drive the timeout path with a deterministic body.
+[[nodiscard]] JobResult run_with_deadline(std::string name, double timeout_ms,
+                                          std::function<JobResult()> body);
 
 /// Deterministic per-job seed: splitmix64 of (base, index).  Stable across
 /// platforms and releases — golden batch reports depend on it.

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_suite/benchmarks.hpp"
 #include "bench_suite/generator.hpp"
@@ -183,6 +187,172 @@ TEST(BatchRunner, EmptyBatchIsTriviallyOk) {
   const BatchReport report = BatchRunner().run();
   EXPECT_TRUE(report.jobs.empty());
   EXPECT_TRUE(report.all_ok());
+}
+
+TEST(JobStatus, StringRoundTripCoversEveryStatus) {
+  for (const JobStatus status :
+       {JobStatus::kOk, JobStatus::kSynthesisError, JobStatus::kVerifyFailed,
+        JobStatus::kHazardUnclean, JobStatus::kTimeout}) {
+    const auto parsed = status_from_string(to_string(status));
+    ASSERT_TRUE(parsed.has_value()) << to_string(status);
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(status_from_string("no-such-status").has_value());
+  EXPECT_FALSE(status_from_string("").has_value());
+}
+
+TEST(FormatFixed, PinnedLocaleIndependentSpellings) {
+  // Golden files embed these bytes; the formatting is integer math, so
+  // no locale or C-library version can change them.
+  EXPECT_EQ(format_fixed(0.5, 6), "0.500000");
+  EXPECT_EQ(format_fixed(0.7, 6), "0.700000");
+  EXPECT_EQ(format_fixed(1234.5678, 3), "1234.568");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.25, 2), "-1.25");
+  EXPECT_EQ(format_fixed(0.0, 3), "0.000");
+  EXPECT_EQ(format_fixed(-0.0004, 3), "0.000");  // no "-0.000"
+  EXPECT_EQ(format_fixed(0.0005, 3), "0.001");   // half away from zero
+}
+
+TEST(BatchReport, CsvHeaderAndRowArePinnedByteForByte) {
+  // The persisted-store schema (src/store) and the checked-in golden
+  // corpus both depend on these exact bytes.
+  JobResult j;
+  j.name = "pinned";
+  j.status = JobStatus::kOk;
+  j.num_inputs = 3;
+  j.num_outputs = 2;
+  j.input_states = 6;
+  j.synthesized_states = 5;
+  j.state_vars = 3;
+  j.fl_hazards = 10;
+  j.var_hazards = 12;
+  j.depth.fsv_depth = 3;
+  j.depth.y_depth = 5;
+  j.depth.total_depth = 9;
+  j.gate_count = 80;
+  j.equations_verified = true;
+  j.ternary_transitions = 40;
+  j.ternary_a_violations = 4;
+  j.ternary_b_violations = 7;
+  j.wall_ms = 12.3456;
+  BatchReport report;
+  report.jobs.push_back(j);
+
+  EXPECT_EQ(report.to_csv(),
+            "name,status,inputs,outputs,input_states,synthesized_states,"
+            "state_vars,fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,"
+            "gate_count,equations_verified,ternary_transitions,ternary_a,"
+            "ternary_b\n"
+            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7\n");
+  // The optional wall column uses the locale-independent fixed format.
+  EXPECT_EQ(report.to_csv(/*with_wall_ms=*/true),
+            "name,status,inputs,outputs,input_states,synthesized_states,"
+            "state_vars,fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,"
+            "gate_count,equations_verified,ternary_transitions,ternary_a,"
+            "ternary_b,wall_ms\n"
+            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,12.346\n");
+}
+
+TEST(RunWithDeadline, SlowBodyTimesOutDeterministically) {
+  const auto slow = [] {
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    JobResult r;
+    r.name = "finished anyway";
+    return r;
+  };
+  // Regardless of scheduling, a 2 s body against a 20 ms budget times out.
+  const JobResult r = run_with_deadline("sleepy", 20.0, slow);
+  EXPECT_EQ(r.status, JobStatus::kTimeout);
+  EXPECT_EQ(r.name, "sleepy");
+  EXPECT_NE(r.detail.find("abandoned"), std::string::npos);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RunWithDeadline, FastBodyPassesThroughUntouched) {
+  const JobResult r = run_with_deadline("quick", 60'000.0, [] {
+    JobResult inner;
+    inner.name = "quick";
+    inner.gate_count = 7;
+    return inner;
+  });
+  EXPECT_EQ(r.status, JobStatus::kOk);
+  EXPECT_EQ(r.gate_count, 7);
+}
+
+TEST(RunWithDeadline, ThrowingBodyIsASynthesisError) {
+  const JobResult r = run_with_deadline("boom", 60'000.0, []() -> JobResult {
+    throw std::runtime_error("kaput");
+  });
+  EXPECT_EQ(r.status, JobStatus::kSynthesisError);
+  EXPECT_EQ(r.detail, "kaput");
+  // Error results carry the caller's name: a nameless row would pair
+  // against nothing in store::diff.
+  EXPECT_EQ(r.name, "boom");
+}
+
+TEST(BatchRunner, TimeoutStatusCountsAsFailureAndKeepsTableShape) {
+  BatchOptions options;
+  options.job_timeout_ms = 60'000.0;  // generous: nothing should fire
+  options.threads = 2;
+  BatchRunner runner(options);
+  runner.add("lion", bench_suite::load(bench_suite::by_name("lion")));
+  const BatchReport report = runner.run();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].status, JobStatus::kOk);
+
+  // A synthetic timeout result is a failure for the exit-code contract.
+  BatchReport timed;
+  JobResult t;
+  t.status = JobStatus::kTimeout;
+  timed.jobs.push_back(t);
+  EXPECT_EQ(timed.failed_count(), 1);
+  EXPECT_FALSE(timed.all_ok());
+}
+
+TEST(BatchRunner, TimeoutPathPreservesThreadCountInvariance) {
+  // With a generous watchdog on every job, reports must stay
+  // byte-identical across thread counts — the timeout plumbing may not
+  // perturb result slots or ordering.
+  const auto run_with = [](int threads) {
+    BatchOptions options;
+    options.threads = threads;
+    options.job_timeout_ms = 120'000.0;
+    BatchRunner runner(options);
+    runner.add_table1_suite();
+    bench_suite::GeneratorOptions gen;
+    gen.seed = 42;
+    runner.add_generated(12, gen);
+    return runner.run();
+  };
+  const BatchReport serial = run_with(1);
+  const BatchReport parallel = run_with(8);
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+}
+
+TEST(BatchRunner, ProgressCallbackStreamsEveryJobOnce) {
+  BatchOptions options;
+  options.threads = 4;
+  std::mutex m;
+  std::vector<int> counters;
+  std::multiset<std::string> names;
+  options.on_result = [&](const JobResult& r, int completed, int total) {
+    // The callback contract: serialized, completion-ordered counters.
+    const std::lock_guard<std::mutex> lock(m);
+    counters.push_back(completed);
+    names.insert(r.name);
+    EXPECT_EQ(total, 8);
+  };
+  BatchRunner runner(options);
+  runner.add_table1_suite();
+  bench_suite::GeneratorOptions gen;
+  gen.seed = 42;
+  runner.add_generated(3, gen);
+  ASSERT_EQ(runner.job_count(), 8);
+  const BatchReport report = runner.run();
+  ASSERT_EQ(counters.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(counters[static_cast<std::size_t>(i)], i + 1);
+  for (const auto& j : report.jobs) EXPECT_EQ(names.count(j.name), 1u);
 }
 
 }  // namespace

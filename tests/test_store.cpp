@@ -1,0 +1,277 @@
+// Regression-store contract tests: byte-stable serialization round-trips,
+// the diff classification table (status flips, metric drift against
+// tolerances, added/removed jobs, identity mismatches), and the parse
+// errors that keep a corrupt golden file from passing silently.
+
+#include "store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/generator.hpp"
+#include "driver/batch.hpp"
+
+namespace seance::store {
+namespace {
+
+using driver::BatchOptions;
+using driver::BatchRunner;
+using driver::JobResult;
+using driver::JobStatus;
+
+StoredReport run_small_corpus() {
+  BatchOptions options;
+  options.threads = 2;
+  BatchRunner runner(options);
+  runner.add_table1_suite();
+  bench_suite::GeneratorOptions gen;
+  gen.seed = 42;
+  runner.add_generated(3, gen);
+  // A name that exercises the CSV quoting path through serialize/parse.
+  runner.add("runs/a,b \"v2\".kiss2",
+             bench_suite::load(bench_suite::by_name("lion")));
+
+  StoredReport stored;
+  stored.identity.base_seed = gen.seed;
+  stored.identity.corpus = "table1+gen3+kiss";
+  stored.identity.checks = describe(options);
+  stored.identity.synthesis = describe(core::SynthesisOptions{});
+  stored.identity.generator = describe(gen);
+  stored.report = runner.run();
+  return stored;
+}
+
+/// A hand-built report: diff classification tests need exact metric
+/// control, not whatever synthesis happens to produce.
+JobResult make_job(const std::string& name, JobStatus status = JobStatus::kOk) {
+  JobResult r;
+  r.name = name;
+  r.status = status;
+  r.num_inputs = 3;
+  r.num_outputs = 2;
+  r.input_states = 6;
+  r.synthesized_states = 5;
+  r.state_vars = 3;
+  r.fl_hazards = 10;
+  r.var_hazards = 12;
+  r.depth.fsv_depth = 3;
+  r.depth.y_depth = 5;
+  r.depth.total_depth = 9;
+  r.gate_count = 80;
+  r.equations_verified = true;
+  r.ternary_transitions = 40;
+  return r;
+}
+
+StoredReport make_stored(std::vector<JobResult> jobs) {
+  StoredReport stored;
+  stored.identity.corpus = "hand-built";
+  stored.report.jobs = std::move(jobs);
+  return stored;
+}
+
+TEST(Store, SerializeParseRoundTripIsLossless) {
+  const StoredReport stored = run_small_corpus();
+  const std::string bytes = serialize(stored);
+  const StoredReport reread = parse(bytes);
+
+  EXPECT_EQ(reread.identity.schema_version, kSchemaVersion);
+  EXPECT_EQ(reread.identity.base_seed, stored.identity.base_seed);
+  EXPECT_EQ(reread.identity.corpus, stored.identity.corpus);
+  EXPECT_EQ(reread.identity.checks, stored.identity.checks);
+  EXPECT_EQ(reread.identity.synthesis, stored.identity.synthesis);
+  EXPECT_EQ(reread.identity.generator, stored.identity.generator);
+  // The persisted columns survive byte-for-byte: re-serializing the
+  // parsed report reproduces the input, so golden files are stable under
+  // load/save cycles.
+  EXPECT_EQ(serialize(reread), bytes);
+  // And the parsed report diffs clean against the original.
+  const DiffReport d = diff(stored, reread);
+  EXPECT_TRUE(d.clean()) << d.summary();
+  EXPECT_EQ(d.jobs_compared, static_cast<int>(stored.report.jobs.size()));
+}
+
+TEST(Store, SaveLoadFileRoundTrip) {
+  const StoredReport stored = run_small_corpus();
+  const std::string path = testing::TempDir() + "seance_store_roundtrip.csv";
+  save(path, stored);
+  const StoredReport loaded = load(path);
+  EXPECT_EQ(serialize(loaded), serialize(stored));
+  const DiffReport d = diff(stored, loaded);
+  EXPECT_TRUE(d.clean()) << d.summary();
+}
+
+TEST(Store, SaveIntoMissingDirectoryThrows) {
+  EXPECT_THROW(save("/nonexistent-dir/x/y.csv", StoredReport{}),
+               std::runtime_error);
+  EXPECT_THROW(load("/nonexistent-dir/x/y.csv"), std::runtime_error);
+}
+
+TEST(StoreDiff, StatusFlipIsClassified) {
+  const StoredReport base = make_stored({make_job("a"), make_job("b")});
+  StoredReport cur = make_stored({make_job("a"), make_job("b")});
+  cur.report.jobs[1].status = JobStatus::kTimeout;
+
+  const DiffReport d = diff(base, cur);
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_EQ(d.deltas[0].kind, DeltaKind::kStatusChanged);
+  EXPECT_EQ(d.deltas[0].name, "b");
+  EXPECT_EQ(d.deltas[0].baseline_status, JobStatus::kOk);
+  EXPECT_EQ(d.deltas[0].current_status, JobStatus::kTimeout);
+  EXPECT_FALSE(d.deltas[0].improvement);
+  EXPECT_FALSE(d.clean());
+  EXPECT_NE(d.summary().find("ok -> timeout"), std::string::npos);
+}
+
+TEST(StoreDiff, StatusRecoveryIsAnImprovementButStillDrift) {
+  const StoredReport base =
+      make_stored({make_job("a", JobStatus::kVerifyFailed)});
+  const StoredReport cur = make_stored({make_job("a")});
+  const DiffReport d = diff(base, cur);
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_TRUE(d.deltas[0].improvement);
+  EXPECT_FALSE(d.clean());  // the golden file is stale either way
+}
+
+TEST(StoreDiff, MetricDriftRespectsTolerances) {
+  const StoredReport base = make_stored({make_job("a")});
+  StoredReport cur = make_stored({make_job("a")});
+  cur.report.jobs[0].gate_count += 3;
+  cur.report.jobs[0].depth.total_depth += 1;
+
+  // Zero tolerance: both columns drift.
+  DiffReport d = diff(base, cur);
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_EQ(d.deltas[0].kind, DeltaKind::kMetricDrift);
+  ASSERT_EQ(d.deltas[0].metrics.size(), 2u);
+  EXPECT_STREQ(d.deltas[0].metrics[0].metric, "total_depth");
+  EXPECT_STREQ(d.deltas[0].metrics[1].metric, "gate_count");
+  EXPECT_FALSE(d.deltas[0].improvement);
+
+  // Tolerance at the drift magnitude swallows it (inclusive bound)...
+  DiffOptions tol;
+  tol.gate_tolerance = 3;
+  tol.depth_tolerance = 1;
+  EXPECT_TRUE(diff(base, cur, tol).clean());
+
+  // ...one below does not.
+  tol.gate_tolerance = 2;
+  const DiffReport tight = diff(base, cur, tol);
+  ASSERT_EQ(tight.deltas.size(), 1u);
+  ASSERT_EQ(tight.deltas[0].metrics.size(), 1u);
+  EXPECT_STREQ(tight.deltas[0].metrics[0].metric, "gate_count");
+}
+
+TEST(StoreDiff, TolerancesAreSymmetric) {
+  const StoredReport base = make_stored({make_job("a")});
+  StoredReport cur = make_stored({make_job("a")});
+  cur.report.jobs[0].fl_hazards -= 2;  // improvement is still drift
+
+  const DiffReport d = diff(base, cur);
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_TRUE(d.deltas[0].improvement);
+  DiffOptions tol;
+  tol.fl_tolerance = 2;
+  EXPECT_TRUE(diff(base, cur, tol).clean());
+}
+
+TEST(StoreDiff, AddedAndRemovedJobs) {
+  const StoredReport base = make_stored({make_job("a"), make_job("gone")});
+  const StoredReport cur = make_stored({make_job("a"), make_job("new")});
+  const DiffReport d = diff(base, cur);
+  ASSERT_EQ(d.deltas.size(), 2u);
+  // Baseline order first (removed), then current-only jobs.
+  EXPECT_EQ(d.deltas[0].kind, DeltaKind::kRemoved);
+  EXPECT_EQ(d.deltas[0].name, "gone");
+  EXPECT_EQ(d.deltas[1].kind, DeltaKind::kAdded);
+  EXPECT_EQ(d.deltas[1].name, "new");
+  EXPECT_EQ(d.jobs_compared, 1);
+  // Machine CSV carries one row per delta.
+  const std::string csv = d.to_csv();
+  EXPECT_NE(csv.find("gone,removed,status,ok,,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("new,added,status,,ok,"), std::string::npos) << csv;
+}
+
+TEST(StoreDiff, IdentityMismatchIsNeverClean) {
+  StoredReport base = make_stored({make_job("a")});
+  StoredReport cur = make_stored({make_job("a")});
+  cur.identity.base_seed = 2;
+  const DiffReport d = diff(base, cur);
+  EXPECT_TRUE(d.deltas.empty());  // per-job agreement...
+  EXPECT_FALSE(d.clean());        // ...does not make unlike corpora equal
+  ASSERT_EQ(d.warnings.size(), 1u);
+  EXPECT_NE(d.warnings[0].find("seed"), std::string::npos);
+  EXPECT_NE(d.summary().find("identity mismatch"), std::string::npos);
+}
+
+TEST(StoreDiff, CheckConfigurationMismatchWarns) {
+  // A baseline recorded with the default checks diffed against a
+  // strict-ternary run is not code drift — the runs are incomparable.
+  StoredReport base = make_stored({make_job("a")});
+  base.identity.checks = describe(driver::BatchOptions{});
+  StoredReport cur = make_stored({make_job("a")});
+  driver::BatchOptions strict;
+  strict.ternary_strict = true;
+  cur.identity.checks = describe(strict);
+  const DiffReport d = diff(base, cur);
+  EXPECT_FALSE(d.clean());
+  ASSERT_EQ(d.warnings.size(), 1u);
+  EXPECT_NE(d.warnings[0].find("checks"), std::string::npos);
+}
+
+TEST(StoreParse, RejectsBadMagicVersionHeaderAndRows) {
+  const std::string good = serialize(run_small_corpus());
+
+  EXPECT_THROW(parse("not a store file\n"), std::runtime_error);
+
+  std::string bad_version = good;
+  bad_version.replace(bad_version.find("v1"), 2, "v9");
+  EXPECT_THROW(parse(bad_version), std::runtime_error);
+
+  std::string bad_header = good;
+  const std::size_t name_col = bad_header.find("name,status");
+  bad_header.replace(name_col, 4, "nome");
+  EXPECT_THROW(parse(bad_header), std::runtime_error);
+
+  std::string bad_row = good;
+  bad_row += "short,row\n";
+  EXPECT_THROW(parse(bad_row), std::runtime_error);
+
+  std::string bad_status = good;
+  const std::size_t ok = bad_status.find(",ok,");
+  bad_status.replace(ok, 4, ",??,");
+  EXPECT_THROW(parse(bad_status), std::runtime_error);
+}
+
+TEST(StoreParse, ToleratesUnknownMetadataAndBlankLines) {
+  std::string text = serialize(make_stored({make_job("a")}));
+  const std::size_t after_magic = text.find('\n') + 1;
+  text.insert(after_magic, "# future-key: whatever\n");
+  text += "\n";  // trailing blank line
+  const StoredReport reread = parse(text);
+  ASSERT_EQ(reread.report.jobs.size(), 1u);
+  EXPECT_EQ(reread.report.jobs[0].name, "a");
+}
+
+TEST(StoreDescribe, PinnedSpellings) {
+  // These strings are persisted in golden files; changing them is a
+  // schema change and must bump kSchemaVersion.
+  EXPECT_EQ(describe(core::SynthesisOptions{}),
+            "fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
+            "unique=1 assign-budget=500000 reduce-budget=1000000");
+  EXPECT_EQ(describe(bench_suite::GeneratorOptions{}),
+            "states=6 inputs=3 outputs=2 density=0.500000 mic-bias=0.700000");
+  EXPECT_EQ(describe(driver::BatchOptions{}),
+            "verify=1 ternary=1 strict=0 timeout-ms=0");
+  core::SynthesisOptions baseline;
+  baseline.add_fsv = false;
+  baseline.cover_mode = logic::CoverMode::kGreedy;
+  EXPECT_NE(describe(baseline), describe(core::SynthesisOptions{}));
+}
+
+}  // namespace
+}  // namespace seance::store

@@ -1,11 +1,18 @@
 // seance — command-line driver for the full synthesis flow.
 //
 //   seance <table.kiss2 | benchmark-name> [options]
-//   seance batch [batch options]
+//   seance batch [corpus options]
+//   seance baseline [corpus options] --out FILE
+//   seance diff BASELINE CURRENT [diff options]
 //
 // Batch mode runs a corpus (the Table-1 suite plus generated tables and
 // any KISS2 files) through the pipeline on a thread pool and prints a
-// per-job verify report:
+// per-job verify report.  Baseline mode runs the same corpus and persists
+// the report (plus its corpus identity) in the regression-store format;
+// diff mode compares two stored reports and exits nonzero on drift —
+// together they are the golden-corpus gate CI runs on every push.
+//
+// Corpus options (batch and baseline):
 //   --jobs N           worker threads (default: hardware concurrency)
 //   --random N         generated tables (default 100)
 //   --states/--inputs/--outputs N   generator shape (default 6/3/2)
@@ -18,9 +25,20 @@
 //   --no-ternary       skip the Eichelberger ternary pass
 //   --strict-ternary   fail jobs whose ternary pass flags (conservative!)
 //   --no-verify        skip the equation cross-check
-//   --csv F            write the per-job report as CSV
+//   --timeout MS       per-job wall-clock budget; overruns record kTimeout
+//   --progress         stream per-job completion lines to stderr
+//   --csv F            write the per-job report as CSV (batch only)
+//   --wall             include wall_ms in --csv (not byte-stable!)
+//   --out F            write the persisted regression store (baseline only)
 //   --quiet            totals line only
 // (--baseline/--no-minimize/--flat apply to every batch job too.)
+//
+// Diff options:
+//   --csv F            write the machine-readable delta table
+//   --tol-fl/--tol-var/--tol-depth/--tol-gates/--tol-states N
+//                      absolute per-metric drift tolerances (default 0)
+//   --quiet            verdict line only
+// Diff exit code: 0 clean, 1 drift or identity mismatch, 2 usage/IO error.
 //
 // Single-table options:
 //   --report           print codes, equations, hazard lists (default)
@@ -51,6 +69,7 @@
 #include "netlist/netlist.hpp"
 #include "sim/harness.hpp"
 #include "sim/ternary_verify.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -62,8 +81,12 @@ void usage() {
       "       seance batch [--jobs N] [--random N] [--states N] [--inputs N]\n"
       "              [--outputs N] [--density D] [--mic-bias B] [--seed S]\n"
       "              [--no-suite] [--extra] [--kiss-file F] [--no-ternary]\n"
-      "              [--strict-ternary] [--no-verify] [--csv F] [--baseline]\n"
+      "              [--strict-ternary] [--no-verify] [--timeout MS]\n"
+      "              [--progress] [--csv F] [--wall] [--baseline]\n"
       "              [--no-minimize] [--flat] [--quiet]\n"
+      "       seance baseline [corpus options as for batch] --out F\n"
+      "       seance diff BASELINE CURRENT [--csv F] [--tol-fl N] [--tol-var N]\n"
+      "              [--tol-depth N] [--tol-gates N] [--tol-states N] [--quiet]\n"
       "built-in benchmarks:");
   for (const auto& b : seance::bench_suite::table1_suite()) {
     std::printf(" %s", b.name.c_str());
@@ -74,16 +97,26 @@ void usage() {
   std::printf("\n");
 }
 
-int run_batch(int argc, char** argv) {
+/// Everything `batch` and `baseline` share: the corpus recipe, the run
+/// options, and the output knobs.
+struct CorpusFlags {
   seance::driver::BatchOptions options;
   seance::bench_suite::GeneratorOptions gen;
   int random_count = 100;
   bool suite = true;
   bool extra = false;
   bool quiet = false;
-  std::string csv_path;
+  bool progress = false;
+  bool wall = false;
+  std::string csv_path;  ///< batch: raw CSV report
+  std::string out_path;  ///< baseline: persisted regression store
   std::vector<std::string> kiss_files;
+};
 
+/// Parses argv[2..] into `flags`; `baseline_mode` additionally accepts
+/// --out.  Returns false (after printing the reason) on a malformed line.
+bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
+                        CorpusFlags& flags) {
   bool parse_error = false;
   for (int i = 2; i < argc && !parse_error; ++i) {
     const std::string arg = argv[i];
@@ -117,81 +150,250 @@ int run_batch(int argc, char** argv) {
       parse_num(out, [](const char* s, char** e) { return std::strtod(s, e); });
     };
     if (arg == "--jobs") {
-      next_int(options.threads);
+      next_int(flags.options.threads);
     } else if (arg == "--random") {
-      next_int(random_count);
+      next_int(flags.random_count);
     } else if (arg == "--states") {
-      next_int(gen.num_states);
+      next_int(flags.gen.num_states);
     } else if (arg == "--inputs") {
-      next_int(gen.num_inputs);
+      next_int(flags.gen.num_inputs);
     } else if (arg == "--outputs") {
-      next_int(gen.num_outputs);
+      next_int(flags.gen.num_outputs);
     } else if (arg == "--density") {
-      next_double(gen.transition_density);
+      next_double(flags.gen.transition_density);
     } else if (arg == "--mic-bias") {
-      next_double(gen.mic_bias);
+      next_double(flags.gen.mic_bias);
     } else if (arg == "--seed") {
-      parse_num(gen.seed,
+      parse_num(flags.gen.seed,
                 [](const char* s, char** e) { return std::strtoull(s, e, 10); });
     } else if (arg == "--no-suite") {
-      suite = false;
+      flags.suite = false;
     } else if (arg == "--extra") {
-      extra = true;
+      flags.extra = true;
     } else if (arg == "--kiss-file") {
-      if (const char* v = next_value()) kiss_files.emplace_back(v);
+      if (const char* v = next_value()) flags.kiss_files.emplace_back(v);
     } else if (arg == "--no-ternary") {
-      options.ternary = false;
+      flags.options.ternary = false;
     } else if (arg == "--strict-ternary") {
-      options.ternary_strict = true;
+      flags.options.ternary_strict = true;
     } else if (arg == "--no-verify") {
-      options.verify = false;
-    } else if (arg == "--csv") {
-      if (const char* v = next_value()) csv_path = v;
+      flags.options.verify = false;
+    } else if (arg == "--timeout") {
+      next_double(flags.options.job_timeout_ms);
+    } else if (arg == "--progress") {
+      flags.progress = true;
+    } else if (arg == "--csv" && !baseline_mode) {
+      if (const char* v = next_value()) flags.csv_path = v;
+    } else if (arg == "--wall" && !baseline_mode) {
+      flags.wall = true;
+    } else if (arg == "--out" && baseline_mode) {
+      if (const char* v = next_value()) flags.out_path = v;
     } else if (arg == "--baseline") {
-      options.synthesis.add_fsv = false;
+      flags.options.synthesis.add_fsv = false;
     } else if (arg == "--no-minimize") {
-      options.synthesis.minimize_states = false;
+      flags.options.synthesis.minimize_states = false;
     } else if (arg == "--flat") {
-      options.synthesis.factor = false;
+      flags.options.synthesis.factor = false;
     } else if (arg == "--quiet") {
-      quiet = true;
+      flags.quiet = true;
     } else {
-      std::printf("unknown batch option %s\n", arg.c_str());
+      std::printf("unknown %s option %s\n", baseline_mode ? "baseline" : "batch",
+                  arg.c_str());
       parse_error = true;
     }
   }
-  if (parse_error) {
-    usage();
-    return 1;
+  if (flags.progress) {
+    flags.options.on_result = [](const seance::driver::JobResult& r,
+                                 int completed, int total) {
+      std::fprintf(stderr, "[%4d/%4d] %-28s %s (%.1f ms)\n", completed, total,
+                   r.name.c_str(), seance::driver::to_string(r.status),
+                   r.wall_ms);
+    };
   }
+  return !parse_error;
+}
 
-  seance::driver::BatchRunner runner(options);
+/// Fills the runner from the recipe; returns false after printing the
+/// reason when the corpus cannot be built or is empty.
+bool build_corpus(seance::driver::BatchRunner& runner, const CorpusFlags& flags) {
   try {
-    if (suite) runner.add_table1_suite();
-    if (extra) runner.add_extra_suite();
-    for (const auto& path : kiss_files) runner.add_kiss_file(path);
-    if (random_count > 0) runner.add_generated(random_count, gen);
+    if (flags.suite) runner.add_table1_suite();
+    if (flags.extra) runner.add_extra_suite();
+    for (const auto& path : flags.kiss_files) runner.add_kiss_file(path);
+    if (flags.random_count > 0) runner.add_generated(flags.random_count, flags.gen);
   } catch (const std::exception& e) {
     std::printf("corpus error: %s\n", e.what());
-    return 1;
+    return false;
   }
   if (runner.job_count() == 0) {
     std::printf("batch: empty corpus\n");
+    return false;
+  }
+  return true;
+}
+
+seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
+  seance::store::CorpusIdentity identity;
+  identity.base_seed = flags.gen.seed;
+  identity.checks = seance::store::describe(flags.options);
+  identity.synthesis = seance::store::describe(flags.options.synthesis);
+  identity.generator = seance::store::describe(flags.gen);
+  std::string corpus;
+  const auto append = [&](const std::string& part) {
+    if (!corpus.empty()) corpus += '+';
+    corpus += part;
+  };
+  if (flags.suite) append("table1");
+  if (flags.extra) append("extra");
+  for (const auto& path : flags.kiss_files) append("kiss:" + path);
+  if (flags.random_count > 0) append("gen" + std::to_string(flags.random_count));
+  identity.corpus = corpus;
+  return identity;
+}
+
+int run_batch(int argc, char** argv) {
+  CorpusFlags flags;
+  if (!parse_corpus_flags(argc, argv, /*baseline_mode=*/false, flags)) {
+    usage();
     return 1;
   }
+  seance::driver::BatchRunner runner(flags.options);
+  if (!build_corpus(runner, flags)) return 1;
 
   const auto report = runner.run();
-  std::printf("%s", report.summary(/*per_job=*/!quiet).c_str());
+  std::printf("%s", report.summary(/*per_job=*/!flags.quiet).c_str());
+  if (!flags.csv_path.empty()) {
+    std::ofstream out(flags.csv_path);
+    if (!out) {
+      std::printf("error: cannot write %s\n", flags.csv_path.c_str());
+      return 1;
+    }
+    out << report.to_csv(flags.wall);
+    if (!flags.quiet) std::printf("wrote %s\n", flags.csv_path.c_str());
+  }
+  return report.all_ok() ? 0 : 1;
+}
+
+int run_baseline(int argc, char** argv) {
+  CorpusFlags flags;
+  if (!parse_corpus_flags(argc, argv, /*baseline_mode=*/true, flags)) {
+    usage();
+    return 1;
+  }
+  if (flags.out_path.empty()) {
+    std::printf("baseline: --out FILE is required\n");
+    usage();
+    return 1;
+  }
+  seance::driver::BatchRunner runner(flags.options);
+  if (!build_corpus(runner, flags)) return 1;
+
+  seance::store::StoredReport stored;
+  stored.identity = make_identity(flags);
+  stored.report = runner.run();
+  std::printf("%s", stored.report.summary(/*per_job=*/!flags.quiet).c_str());
+  try {
+    seance::store::save(flags.out_path, stored);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+  if (!flags.quiet) std::printf("wrote %s\n", flags.out_path.c_str());
+  // Job failures are part of the stored truth (the diff gate judges
+  // drift, not absolute health), so saving succeeds regardless — but a
+  // baseline with failing jobs is almost always a mistake, so say so.
+  if (!stored.report.all_ok()) {
+    std::printf("note: %d job(s) not ok in this baseline\n",
+                stored.report.failed_count());
+  }
+  return 0;
+}
+
+int run_diff(int argc, char** argv) {
+  std::vector<std::string> paths;
+  seance::store::DiffOptions options;
+  std::string csv_path;
+  bool quiet = false;
+
+  bool parse_error = false;
+  for (int i = 2; i < argc && !parse_error; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) {
+        std::printf("option %s requires a value\n", arg.c_str());
+        parse_error = true;
+        return;
+      }
+      const char* v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::printf("option %s needs a number, got '%s'\n", arg.c_str(), v);
+        parse_error = true;
+        return;
+      }
+      out = static_cast<int>(n);
+    };
+    if (arg == "--csv") {
+      if (i + 1 >= argc) {
+        std::printf("option --csv requires a value\n");
+        parse_error = true;
+      } else {
+        csv_path = argv[++i];
+      }
+    } else if (arg == "--tol-fl") {
+      next_int(options.fl_tolerance);
+    } else if (arg == "--tol-var") {
+      next_int(options.var_tolerance);
+    } else if (arg == "--tol-depth") {
+      next_int(options.depth_tolerance);
+    } else if (arg == "--tol-gates") {
+      next_int(options.gate_tolerance);
+    } else if (arg == "--tol-states") {
+      next_int(options.state_var_tolerance);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::printf("unknown diff option %s\n", arg.c_str());
+      parse_error = true;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (parse_error || paths.size() != 2) {
+    if (!parse_error) std::printf("diff: expected BASELINE and CURRENT paths\n");
+    usage();
+    return 2;
+  }
+
+  seance::store::DiffReport report;
+  try {
+    const auto baseline = seance::store::load(paths[0]);
+    const auto current = seance::store::load(paths[1]);
+    report = seance::store::diff(baseline, current, options);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 2;
+  }
+
+  if (quiet) {
+    // Last line of summary() is the verdict.
+    const std::string full = report.summary();
+    const std::size_t cut = full.rfind('\n', full.size() - 2);
+    std::printf("%s", full.substr(cut == std::string::npos ? 0 : cut + 1).c_str());
+  } else {
+    std::printf("%s", report.summary().c_str());
+  }
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
     if (!out) {
       std::printf("error: cannot write %s\n", csv_path.c_str());
-      return 1;
+      return 2;
     }
     out << report.to_csv();
     if (!quiet) std::printf("wrote %s\n", csv_path.c_str());
   }
-  return report.all_ok() ? 0 : 1;
+  return report.clean() ? 0 : 1;
 }
 
 }  // namespace
@@ -203,6 +405,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "batch") == 0) {
     return run_batch(argc, argv);
+  }
+  if (std::strcmp(argv[1], "baseline") == 0) {
+    return run_baseline(argc, argv);
+  }
+  if (std::strcmp(argv[1], "diff") == 0) {
+    return run_diff(argc, argv);
   }
   std::string target;
   std::string verilog_path;
