@@ -48,7 +48,14 @@ FlowTable generate(const GeneratorOptions& options) {
   // stable column of the successor.
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
-  std::shuffle(order.begin(), order.end(), rng);
+  // Hand-rolled Fisher-Yates over raw mt19937_64 words: std::shuffle's
+  // word consumption is implementation-defined, so using it would tie
+  // every generated corpus to one standard library.  Modulo bias is
+  // irrelevant here — byte-stable determinism is the contract.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng() % i);
+    std::swap(order[i - 1], order[j]);
+  }
   for (int i = 0; i < n && n > 1; ++i) {
     const int from = order[static_cast<std::size_t>(i)];
     const int to = order[static_cast<std::size_t>((i + 1) % n)];

@@ -197,15 +197,25 @@ void BatchRunner::add_kiss_file(const std::string& path) {
 }
 
 void BatchRunner::add_generated(int count,
-                                const bench_suite::GeneratorOptions& base) {
+                                const bench_suite::GeneratorOptions& base,
+                                const char* name_prefix) {
   for (int i = 0; i < count; ++i) {
     bench_suite::GeneratorOptions gen = base;
     gen.seed = derive_seed(base.seed, static_cast<std::uint64_t>(i));
     char name[64];
-    std::snprintf(name, sizeof(name), "gen-%dx%d-%04d", gen.num_states,
-                  gen.num_inputs, i);
+    std::snprintf(name, sizeof(name), "%s-%dx%d-%04d", name_prefix,
+                  gen.num_states, gen.num_inputs, i);
     add(JobSpec(name, bench_suite::generate(gen), options_.synthesis));
   }
+}
+
+void BatchRunner::add_hard_generated(int count, std::uint64_t base_seed) {
+  bench_suite::GeneratorOptions gen = kHardShape;
+  gen.seed = base_seed;
+  // Distinct prefix: a corpus mixing `--states 8 --inputs 4 --random N`
+  // with `--hard M` must not produce colliding job names (store::diff
+  // pairs rows by name and occurrence order).
+  add_generated(count, gen, "hard");
 }
 
 JobResult run_with_deadline(std::string name, double timeout_ms,

@@ -59,6 +59,18 @@ inline constexpr std::string_view kCsvHeader =
     "fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,gate_count,"
     "equations_verified,ternary_transitions,ternary_a,ternary_b";
 
+/// The harder canonical generator shape (ROADMAP: 8 states / 4 inputs).
+/// `seance_cli --hard N` and the golden corpus batch exactly this shape —
+/// only the base seed varies — so hard-shape rows stay comparable across
+/// reports.
+inline constexpr bench_suite::GeneratorOptions kHardShape{
+    .num_states = 8,
+    .num_inputs = 4,
+    .num_outputs = 2,
+    .transition_density = 0.5,
+    .mic_bias = 0.7,
+    .seed = 1};
+
 /// One unit of work: a named table plus its synthesis options.
 struct JobSpec {
   std::string name;
@@ -173,8 +185,14 @@ class BatchRunner {
   void add_kiss_file(const std::string& path);
   /// `count` generator tables derived from `base`; job i uses seed
   /// derive_seed(base.seed, i), so the corpus is reproducible and
-  /// independent of thread schedule.
-  void add_generated(int count, const bench_suite::GeneratorOptions& base);
+  /// independent of thread schedule.  Jobs are named
+  /// `<prefix>-<states>x<inputs>-NNNN`.
+  void add_generated(int count, const bench_suite::GeneratorOptions& base,
+                     const char* name_prefix = "gen");
+  /// `count` tables at the harder canonical shape (kHardShape) seeded
+  /// from `base_seed`; jobs are named hard-8x4-NNNN so they can never
+  /// collide with an add_generated stream at the same shape.
+  void add_hard_generated(int count, std::uint64_t base_seed);
 
   [[nodiscard]] int job_count() const { return static_cast<int>(jobs_.size()); }
   [[nodiscard]] const std::vector<JobSpec>& jobs() const { return jobs_; }

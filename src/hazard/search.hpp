@@ -66,6 +66,13 @@ struct HazardLists {
                                             int state_a, int state_b,
                                             int intermediate_column);
 
+/// Allocation-free form of `notinvariant`: bit n set iff state variable n
+/// is disturbed.  This is what the Fig. 4 search loop uses — one mask
+/// operation tests all state variables at once.
+[[nodiscard]] std::uint32_t notinvariant_mask(const EncodedTable& encoded,
+                                              int state_a, int state_b,
+                                              int intermediate_column);
+
 [[nodiscard]] std::string to_string(const HazardLists& lists,
                                     const flowtable::FlowTable& table);
 

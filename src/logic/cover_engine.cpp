@@ -1,0 +1,365 @@
+#include "logic/cover_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace seance::logic {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Reduction passes are quadratic in the active row/column count; past
+// these caps they are skipped (the branch and bound stays correct, the
+// root just starts less reduced).  Corpus workloads never get close.
+constexpr std::size_t kRowDominanceCap = 4096;
+constexpr std::size_t kColDominanceCap = 8192;
+
+std::size_t popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words; ++w) n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  return n;
+}
+
+class Solver {
+ public:
+  Solver(const CoverTable& t, std::size_t node_budget)
+      : t_(t),
+        words_(t.words()),
+        col_words_((t.num_cols() + 63) / 64),
+        budget_(node_budget == 0 ? 1 : node_budget),
+        uncovered_(words_, 0),
+        col_mask_(col_words_, 0),
+        row_cols_(t.num_rows() * col_words_, 0) {}
+
+  MinCoverResult run() {
+    MinCoverResult result;
+    if (t_.num_rows() == 0) {
+      result.found = true;
+      result.exact = true;
+      return result;
+    }
+    init();
+    if (!reduce()) {
+      result.exact = true;  // proven uncoverable
+      return result;
+    }
+    if (uncovered_count() == 0) {
+      result.columns = forced_;
+      std::sort(result.columns.begin(), result.columns.end());
+      result.found = true;
+      result.exact = true;
+      return result;
+    }
+    prepare_residual();
+    recurse(uncovered_count(), 0);
+    result.nodes = nodes_;
+    result.exact = nodes_ < budget_;
+    if (have_best_) {
+      result.found = true;
+      result.columns = forced_;
+      result.columns.insert(result.columns.end(), best_.begin(), best_.end());
+      std::sort(result.columns.begin(), result.columns.end());
+    }
+    return result;
+  }
+
+ private:
+  void init() {
+    // All rows start uncovered; the last word's slack bits stay zero.
+    for (std::size_t r = 0; r < t_.num_rows(); ++r) {
+      uncovered_[r / 64] |= std::uint64_t{1} << (r % 64);
+    }
+    for (std::size_t c = 0; c < t_.num_cols(); ++c) {
+      col_mask_[c / 64] |= std::uint64_t{1} << (c % 64);
+      const std::uint64_t* col = t_.column(c);
+      for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t bits = col[w];
+        while (bits != 0) {
+          const std::size_t r = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          row_cols_[r * col_words_ + c / 64] |= std::uint64_t{1} << (c % 64);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool row_uncovered(std::size_t r) const {
+    return (uncovered_[r / 64] >> (r % 64)) & 1u;
+  }
+  [[nodiscard]] bool col_active(std::size_t c) const {
+    return (col_mask_[c / 64] >> (c % 64)) & 1u;
+  }
+  void deactivate_col(std::size_t c) {
+    col_mask_[c / 64] &= ~(std::uint64_t{1} << (c % 64));
+  }
+  [[nodiscard]] std::size_t uncovered_count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : uncovered_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  void select(std::size_t c) {
+    forced_.push_back(c);
+    const std::uint64_t* col = t_.column(c);
+    for (std::size_t w = 0; w < words_; ++w) uncovered_[w] &= ~col[w];
+    deactivate_col(c);
+  }
+
+  // Root reduction: unit rows force their only column; a row whose active
+  // column set contains another row's is covered for free and drops out; a
+  // column whose active rows are a subset of another's can never be
+  // preferred (unit costs) and drops out.  Loops to fixpoint.  Returns
+  // false when some uncovered row has no active column.
+  bool reduce() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Unit (and zero) rows.
+      for (std::size_t r = 0; r < t_.num_rows(); ++r) {
+        if (!row_uncovered(r)) continue;
+        const std::uint64_t* rc = &row_cols_[r * col_words_];
+        std::size_t options = 0;
+        std::size_t only = kNone;
+        for (std::size_t w = 0; w < col_words_ && options <= 1; ++w) {
+          std::uint64_t bits = rc[w] & col_mask_[w];
+          while (bits != 0 && options <= 1) {
+            only = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            ++options;
+          }
+        }
+        if (options == 0) return false;
+        if (options == 1) {
+          select(only);
+          changed = true;
+        }
+      }
+      changed = column_dominance() || changed;
+      changed = row_dominance() || changed;
+    }
+    return true;
+  }
+
+  bool column_dominance() {
+    std::vector<std::size_t> active;
+    for (std::size_t c = 0; c < t_.num_cols(); ++c) {
+      if (col_active(c)) active.push_back(c);
+    }
+    if (active.size() > kColDominanceCap) return false;
+    bool changed = false;
+    // Drop columns with no uncovered rows first: they cover nothing.
+    std::vector<std::size_t> gain(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      gain[i] = popcount_and(t_.column(active[i]), uncovered_.data(), words_);
+      if (gain[i] == 0) {
+        deactivate_col(active[i]);
+        changed = true;
+      }
+    }
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t c1 = active[i];
+      if (gain[i] == 0 || !col_active(c1)) continue;
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        const std::size_t c2 = active[k];
+        if (i == k || gain[k] < gain[i] || !col_active(c2)) continue;
+        if (gain[k] == gain[i] && c2 > c1) continue;  // equal sets keep lower index
+        const std::uint64_t* b1 = t_.column(c1);
+        const std::uint64_t* b2 = t_.column(c2);
+        bool subset = true;
+        for (std::size_t w = 0; w < words_; ++w) {
+          if ((b1[w] & uncovered_[w]) & ~(b2[w] & uncovered_[w])) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) {
+          deactivate_col(c1);
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool row_dominance() {
+    std::vector<std::size_t> active;
+    for (std::size_t r = 0; r < t_.num_rows(); ++r) {
+      if (row_uncovered(r)) active.push_back(r);
+    }
+    if (active.size() > kRowDominanceCap) return false;
+    bool changed = false;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t r1 = active[i];
+      if (!row_uncovered(r1)) continue;
+      const std::uint64_t* c1 = &row_cols_[r1 * col_words_];
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        const std::size_t r2 = active[k];
+        if (i == k || !row_uncovered(r2)) continue;
+        if (r2 > r1 && equal_active_cols(c1, &row_cols_[r2 * col_words_])) continue;
+        // cols(r2) ⊆ cols(r1): covering r2 covers r1 for free — drop r1.
+        const std::uint64_t* c2 = &row_cols_[r2 * col_words_];
+        bool subset = true;
+        for (std::size_t w = 0; w < col_words_; ++w) {
+          if ((c2[w] & col_mask_[w]) & ~(c1[w] & col_mask_[w])) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) {
+          uncovered_[r1 / 64] &= ~(std::uint64_t{1} << (r1 % 64));
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  [[nodiscard]] bool equal_active_cols(const std::uint64_t* a,
+                                       const std::uint64_t* b) const {
+    for (std::size_t w = 0; w < col_words_; ++w) {
+      if ((a[w] & col_mask_[w]) != (b[w] & col_mask_[w])) return false;
+    }
+    return true;
+  }
+
+  void prepare_residual() {
+    // Active rows in fail-first order (fewest covering columns first);
+    // option counts are static during the search because branching never
+    // deactivates columns.
+    std::vector<std::size_t> active_rows;
+    for (std::size_t r = 0; r < t_.num_rows(); ++r) {
+      if (row_uncovered(r)) active_rows.push_back(r);
+    }
+    row_col_list_.assign(t_.num_rows(), {});
+    std::vector<std::size_t> options(t_.num_rows(), 0);
+    max_col_gain_ = 1;
+    for (std::size_t r : active_rows) {
+      const std::uint64_t* rc = &row_cols_[r * col_words_];
+      for (std::size_t w = 0; w < col_words_; ++w) {
+        std::uint64_t bits = rc[w] & col_mask_[w];
+        while (bits != 0) {
+          const std::size_t c = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          row_col_list_[r].push_back(static_cast<std::uint32_t>(c));
+        }
+      }
+      options[r] = row_col_list_[r].size();
+    }
+    // Try high-yield columns first inside each row so the first dive
+    // lands a strong incumbent for the bound.
+    std::vector<std::pair<std::size_t, std::uint32_t>> ranked;
+    for (std::size_t r : active_rows) {
+      auto& list = row_col_list_[r];
+      ranked.clear();
+      ranked.reserve(list.size());
+      for (std::uint32_t c : list) {
+        const std::size_t gain = popcount_and(t_.column(c), uncovered_.data(), words_);
+        max_col_gain_ = std::max(max_col_gain_, gain);
+        ranked.emplace_back(gain, c);
+      }
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (std::size_t i = 0; i < list.size(); ++i) list[i] = ranked[i].second;
+    }
+    row_order_ = active_rows;
+    std::stable_sort(row_order_.begin(), row_order_.end(),
+                     [&](std::size_t a, std::size_t b) { return options[a] < options[b]; });
+    scratch_.assign((active_rows.size() + 1) * words_, 0);
+  }
+
+  void recurse(std::size_t uncovered_count, std::size_t depth) {
+    if (uncovered_count == 0) {
+      if (!have_best_ || chosen_.size() < best_.size()) {
+        best_ = chosen_;
+        have_best_ = true;
+      }
+      return;
+    }
+    if (++nodes_ >= budget_) return;
+    if (have_best_) {
+      // Lower bound: each further column gains at most max_col_gain_ rows.
+      const std::size_t lb = (uncovered_count + max_col_gain_ - 1) / max_col_gain_;
+      if (chosen_.size() + lb >= best_.size()) return;
+    }
+    std::size_t pick = kNone;
+    for (std::size_t r : row_order_) {
+      if (row_uncovered(r)) {
+        pick = r;
+        break;
+      }
+    }
+    if (pick == kNone) return;  // unreachable: uncovered_count > 0
+    std::uint64_t* newly = &scratch_[depth * words_];
+    for (std::uint32_t c : row_col_list_[pick]) {
+      const std::uint64_t* col = t_.column(c);
+      std::size_t gained = 0;
+      for (std::size_t w = 0; w < words_; ++w) {
+        newly[w] = col[w] & uncovered_[w];
+        gained += static_cast<std::size_t>(std::popcount(newly[w]));
+        uncovered_[w] ^= newly[w];
+      }
+      chosen_.push_back(c);
+      recurse(uncovered_count - gained, depth + 1);
+      chosen_.pop_back();
+      for (std::size_t w = 0; w < words_; ++w) uncovered_[w] |= newly[w];
+      if (nodes_ >= budget_) return;
+    }
+  }
+
+  const CoverTable& t_;
+  std::size_t words_;
+  std::size_t col_words_;
+  std::size_t budget_;
+  std::size_t nodes_ = 0;
+  std::vector<std::uint64_t> uncovered_;
+  std::vector<std::uint64_t> col_mask_;
+  std::vector<std::uint64_t> row_cols_;  ///< transposed: row → column bitset
+  std::vector<std::size_t> forced_;      ///< selected during reduction
+  std::vector<std::vector<std::uint32_t>> row_col_list_;
+  std::vector<std::size_t> row_order_;
+  std::vector<std::uint64_t> scratch_;   ///< per-depth newly-covered words
+  std::size_t max_col_gain_ = 1;
+  std::vector<std::size_t> chosen_;
+  std::vector<std::size_t> best_;
+  bool have_best_ = false;
+};
+
+}  // namespace
+
+MinCoverResult solve_min_cover(const CoverTable& table, std::size_t node_budget) {
+  return Solver(table, node_budget).run();
+}
+
+std::optional<std::vector<std::size_t>> greedy_cover(const CoverTable& table) {
+  const std::size_t words = table.words();
+  std::vector<std::uint64_t> uncovered(words, 0);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    uncovered[r / 64] |= std::uint64_t{1} << (r % 64);
+  }
+  std::size_t left = table.num_rows();
+  std::vector<std::size_t> chosen;
+  while (left > 0) {
+    std::size_t best = kNone;
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      const std::size_t gain = popcount_and(table.column(c), uncovered.data(), words);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == kNone) return std::nullopt;
+    const std::uint64_t* col = table.column(best);
+    for (std::size_t w = 0; w < words; ++w) uncovered[w] &= ~col[w];
+    left -= best_gain;
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+}  // namespace seance::logic

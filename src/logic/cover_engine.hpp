@@ -1,0 +1,86 @@
+// Packed-bitset minimum set-cover engine.
+//
+// The Quine-McCluskey covering step (and any future covering-shaped
+// subproblem) reduces to: given an incidence table "column c covers row
+// r", pick the fewest columns that cover every row.  This engine stores
+// the table as packed uint64_t bitsets and solves with the classic
+// reduction loop (unit rows, row dominance, column dominance) followed by
+// fail-first branch and bound, all driven by word-wide AND/popcount
+// instead of per-element binary searches.  A greedy completion over the
+// same bitsets serves as the anytime fallback.
+//
+// Determinism contract: results depend only on the table contents —
+// ties break toward lower column indices everywhere — so golden corpus
+// reports built on top of this engine are stable across platforms.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace seance::logic {
+
+/// Column-major packed incidence matrix: bit r of column c's bitset is
+/// set iff column c covers row r.
+class CoverTable {
+ public:
+  CoverTable(std::size_t num_rows, std::size_t num_cols)
+      : num_rows_(num_rows),
+        num_cols_(num_cols),
+        words_((num_rows + 63) / 64),
+        bits_(num_cols * words_, 0) {}
+
+  void set(std::size_t row, std::size_t col) {
+    bits_[col * words_ + row / 64] |= std::uint64_t{1} << (row % 64);
+  }
+
+  [[nodiscard]] bool covers(std::size_t col, std::size_t row) const {
+    return (bits_[col * words_ + row / 64] >> (row % 64)) & 1u;
+  }
+
+  [[nodiscard]] std::size_t num_rows() const { return num_rows_; }
+  [[nodiscard]] std::size_t num_cols() const { return num_cols_; }
+  /// Words per column bitset.
+  [[nodiscard]] std::size_t words() const { return words_; }
+  /// Pointer to column c's packed bitset (words() words).
+  [[nodiscard]] const std::uint64_t* column(std::size_t col) const {
+    return bits_.data() + col * words_;
+  }
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_cols_;
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+struct MinCoverResult {
+  /// Chosen column indices, sorted ascending.  Valid iff `found`.
+  std::vector<std::size_t> columns;
+  /// A valid cover was produced (possibly non-minimal if !exact).  False
+  /// only when some row is uncoverable, or when the node budget ran out
+  /// before the search reached any complete cover.
+  bool found = false;
+  /// The search completed within the node budget, so `columns` is a
+  /// proven minimum-cardinality cover.  When the budget runs out after an
+  /// incumbent was found, that incumbent is still returned (found=true,
+  /// exact=false) — a valid cover is never discarded.
+  bool exact = false;
+  /// Branch-and-bound nodes expanded (reduction work is free).
+  std::size_t nodes = 0;
+};
+
+/// Minimum-cardinality set cover by reduction + branch and bound with a
+/// node budget.  An empty table (no rows) yields an empty exact cover.
+[[nodiscard]] MinCoverResult solve_min_cover(const CoverTable& table,
+                                             std::size_t node_budget);
+
+/// Greedy set cover over the same packed table: repeatedly take the
+/// column covering the most still-uncovered rows (lowest index on ties).
+/// Returns nullopt when some row is covered by no column.
+[[nodiscard]] std::optional<std::vector<std::size_t>> greedy_cover(
+    const CoverTable& table);
+
+}  // namespace seance::logic

@@ -3,18 +3,21 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "logic/cover_engine.hpp"
 
 namespace seance::logic {
 
 namespace {
 
-// Work bound for the exact branch-and-bound cover completion; beyond this
-// the greedy heuristic is used (CoverStats::exact reports which happened).
-constexpr std::size_t kExactNodeBudget = 2'000'000;
+// Ceiling on rows*columns for attempting the exact completion; past it
+// the incidence table itself gets large enough that greedy is the only
+// sane answer.  The node budget (select_cover's parameter) bounds the
+// search effort inside the attempt.
+constexpr std::size_t kExactCellLimit = 16'777'216;
 
 std::vector<Minterm> dedup(std::span<const Minterm> v) {
   std::vector<Minterm> out(v.begin(), v.end());
@@ -22,83 +25,6 @@ std::vector<Minterm> dedup(std::span<const Minterm> v) {
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
-
-// Exact minimum set cover by branch and bound with row/column dominance.
-// `candidates[i]` is the bitset (as vector<uint64_t>) of remaining ON
-// minterms covered by prime i.  Returns indices of chosen primes, or an
-// empty optional if the node budget is exhausted.
-class ExactCover {
- public:
-  ExactCover(std::size_t num_rows, std::vector<std::vector<std::uint32_t>> cols)
-      : num_rows_(num_rows), cols_(std::move(cols)) {}
-
-  // Returns chosen column indices, or nullopt if budget exceeded.
-  std::optional<std::vector<std::size_t>> solve() {
-    std::vector<char> covered(num_rows_, 0);
-    std::vector<std::size_t> chosen;
-    best_.reset();
-    nodes_ = 0;
-    recurse(covered, 0, chosen);
-    if (nodes_ >= kExactNodeBudget) return std::nullopt;
-    return best_;
-  }
-
- private:
-  void recurse(std::vector<char>& covered, std::size_t covered_count,
-               std::vector<std::size_t>& chosen) {
-    if (++nodes_ >= kExactNodeBudget) return;
-    if (best_ && chosen.size() + 1 >= best_->size()) {
-      // Even one more column cannot beat the incumbent unless we are done.
-      if (covered_count < num_rows_) return;
-    }
-    if (covered_count == num_rows_) {
-      if (!best_ || chosen.size() < best_->size()) best_ = chosen;
-      return;
-    }
-    // Pick the uncovered row with the fewest covering columns (fail-first).
-    std::size_t pick = num_rows_;
-    std::size_t pick_options = std::numeric_limits<std::size_t>::max();
-    for (std::size_t r = 0; r < num_rows_; ++r) {
-      if (covered[r]) continue;
-      std::size_t options = 0;
-      for (std::size_t c = 0; c < cols_.size(); ++c) {
-        if (std::binary_search(cols_[c].begin(), cols_[c].end(),
-                               static_cast<std::uint32_t>(r))) {
-          ++options;
-        }
-      }
-      if (options < pick_options) {
-        pick_options = options;
-        pick = r;
-        if (options <= 1) break;
-      }
-    }
-    if (pick == num_rows_ || pick_options == 0) return;  // uncoverable
-    for (std::size_t c = 0; c < cols_.size(); ++c) {
-      if (!std::binary_search(cols_[c].begin(), cols_[c].end(),
-                              static_cast<std::uint32_t>(pick))) {
-        continue;
-      }
-      std::vector<std::uint32_t> newly;
-      for (std::uint32_t r : cols_[c]) {
-        if (!covered[r]) {
-          covered[r] = 1;
-          newly.push_back(r);
-        }
-      }
-      chosen.push_back(c);
-      recurse(covered, covered_count + newly.size(), chosen);
-      chosen.pop_back();
-      for (std::uint32_t r : newly) covered[r] = 0;
-      if (nodes_ >= kExactNodeBudget) return;
-    }
-  }
-
-  std::size_t num_rows_;
-  std::vector<std::vector<std::uint32_t>> cols_;
-  std::optional<std::vector<std::size_t>> best_;
-  std::size_t nodes_ = 0;
-};
 
 }  // namespace
 
@@ -167,7 +93,7 @@ std::vector<Cube> compute_primes(int num_vars, std::span<const Minterm> on,
 
 Cover select_cover(int num_vars, std::span<const Minterm> on,
                    std::span<const Minterm> dc, CoverMode mode,
-                   CoverStats* stats) {
+                   CoverStats* stats, std::size_t exact_node_budget) {
   const std::vector<Minterm> on_sorted = dedup(on);
   std::vector<Cube> primes = compute_primes(num_vars, on_sorted, dc);
 
@@ -186,99 +112,92 @@ Cover select_cover(int num_vars, std::span<const Minterm> on,
     return Cover(num_vars, std::move(primes));
   }
 
-  // Coverage table: for each ON minterm, the primes covering it.
+  // Prime × minterm incidence as a packed bitmatrix, built once; it
+  // drives essential detection, the covered-set accumulation, and the
+  // candidate columns handed to the covering engine.
   const std::size_t num_minterms = on_sorted.size();
-  std::vector<std::vector<std::size_t>> covering(num_minterms);
-  std::vector<std::vector<std::uint32_t>> covered_by(primes.size());
+  const std::size_t mwords = (num_minterms + 63) / 64;
+  CoverTable incidence(num_minterms, primes.size());
+  std::vector<std::uint32_t> cover_count(num_minterms, 0);
+  std::vector<std::size_t> sole(num_minterms, 0);
   for (std::size_t p = 0; p < primes.size(); ++p) {
     for (std::size_t m = 0; m < num_minterms; ++m) {
       if (primes[p].contains(on_sorted[m])) {
-        covering[m].push_back(p);
-        covered_by[p].push_back(static_cast<std::uint32_t>(m));
+        incidence.set(m, p);
+        ++cover_count[m];
+        sole[m] = p;
       }
     }
   }
 
   // Essential primes: sole cover of some minterm.
   std::vector<char> selected(primes.size(), 0);
-  std::vector<char> covered(num_minterms, 0);
   for (std::size_t m = 0; m < num_minterms; ++m) {
-    if (covering[m].size() == 1) selected[covering[m][0]] = 1;
+    if (cover_count[m] == 1) selected[sole[m]] = 1;
   }
   std::size_t essential_count = 0;
+  std::vector<std::uint64_t> covered(mwords, 0);
   for (std::size_t p = 0; p < primes.size(); ++p) {
     if (!selected[p]) continue;
     ++essential_count;
-    for (std::uint32_t m : covered_by[p]) covered[m] = 1;
+    const std::uint64_t* col = incidence.column(p);
+    for (std::size_t w = 0; w < mwords; ++w) covered[w] |= col[w];
   }
   if (stats != nullptr) stats->essential_count = essential_count;
 
-  // Remaining rows and candidate columns.
-  std::vector<std::uint32_t> remaining_rows;
+  // Compress the still-uncovered minterms into dense row indices.
+  std::vector<std::uint32_t> row_of(num_minterms, 0);
+  std::size_t num_rows = 0;
   for (std::size_t m = 0; m < num_minterms; ++m) {
-    if (!covered[m]) remaining_rows.push_back(static_cast<std::uint32_t>(m));
+    if (!((covered[m / 64] >> (m % 64)) & 1u)) {
+      row_of[m] = static_cast<std::uint32_t>(num_rows++);
+    }
   }
 
-  if (!remaining_rows.empty()) {
-    std::unordered_map<std::uint32_t, std::uint32_t> row_index;
-    for (std::size_t i = 0; i < remaining_rows.size(); ++i) {
-      row_index.emplace(remaining_rows[i], static_cast<std::uint32_t>(i));
-    }
+  if (num_rows > 0) {
+    // Candidate columns: unselected primes restricted to remaining rows.
     std::vector<std::size_t> cand_ids;
-    std::vector<std::vector<std::uint32_t>> cand_cols;
+    std::vector<std::vector<std::uint32_t>> cand_rows;
     for (std::size_t p = 0; p < primes.size(); ++p) {
       if (selected[p]) continue;
+      const std::uint64_t* col = incidence.column(p);
       std::vector<std::uint32_t> rows;
-      for (std::uint32_t m : covered_by[p]) {
-        const auto it = row_index.find(m);
-        if (it != row_index.end()) rows.push_back(it->second);
+      for (std::size_t w = 0; w < mwords; ++w) {
+        std::uint64_t bits = col[w] & ~covered[w];
+        while (bits != 0) {
+          const std::size_t m = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          rows.push_back(row_of[m]);
+        }
       }
       if (rows.empty()) continue;
-      std::sort(rows.begin(), rows.end());
       cand_ids.push_back(p);
-      cand_cols.push_back(std::move(rows));
+      cand_rows.push_back(std::move(rows));
+    }
+    CoverTable candidates(num_rows, cand_ids.size());
+    for (std::size_t c = 0; c < cand_rows.size(); ++c) {
+      for (std::uint32_t r : cand_rows[c]) candidates.set(r, c);
     }
 
-    bool solved_exactly = false;
+    bool solved = false;
     if (mode == CoverMode::kEssentialSop &&
-        remaining_rows.size() * cand_cols.size() <= 200'000) {
-      ExactCover solver(remaining_rows.size(), cand_cols);
-      if (auto solution = solver.solve()) {
-        for (std::size_t c : *solution) selected[cand_ids[c]] = 1;
-        solved_exactly = true;
+        num_rows * cand_ids.size() <= kExactCellLimit) {
+      const MinCoverResult result = solve_min_cover(candidates, exact_node_budget);
+      if (result.found) {
+        // A budget overrun with a valid incumbent still uses it — only
+        // the exactness claim is dropped (CoverStats::exact = false).
+        for (std::size_t c : result.columns) selected[cand_ids[c]] = 1;
+        if (stats != nullptr) stats->exact = result.exact;
+        solved = true;
       }
     }
-    if (!solved_exactly) {
+    if (!solved) {
       if (stats != nullptr) stats->exact = false;
-      // Greedy: repeatedly take the candidate covering the most
-      // still-uncovered rows.
-      std::vector<char> row_covered(remaining_rows.size(), 0);
-      std::size_t rows_left = remaining_rows.size();
-      while (rows_left > 0) {
-        std::size_t best = cand_cols.size();
-        std::size_t best_gain = 0;
-        for (std::size_t c = 0; c < cand_cols.size(); ++c) {
-          if (selected[cand_ids[c]]) continue;
-          std::size_t gain = 0;
-          for (std::uint32_t r : cand_cols[c]) {
-            if (!row_covered[r]) ++gain;
-          }
-          if (gain > best_gain) {
-            best_gain = gain;
-            best = c;
-          }
-        }
-        if (best == cand_cols.size()) {
-          throw std::logic_error("select_cover: ON-set not coverable by primes");
-        }
-        selected[cand_ids[best]] = 1;
-        for (std::uint32_t r : cand_cols[best]) {
-          if (!row_covered[r]) {
-            row_covered[r] = 1;
-            --rows_left;
-          }
-        }
+      const auto greedy = greedy_cover(candidates);
+      if (!greedy) {
+        throw std::logic_error("select_cover: ON-set not coverable by primes");
       }
+      for (std::size_t c : *greedy) selected[cand_ids[c]] = 1;
     }
   }
 

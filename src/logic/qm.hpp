@@ -4,7 +4,10 @@
 // to "essential SOP" form with Quine-McCluskey, and (paper §5.3, step 7)
 // reduces fsv to *all* of its prime implicants so the cover is free of
 // logic hazards under single-variable moves.  Both cover styles are
-// produced here.
+// produced here.  Cover completion runs on the packed-bitset covering
+// engine (cover_engine.hpp): essentials, dominance reduction, exact
+// branch and bound, and the greedy fallback all work on a prime×minterm
+// incidence bitmatrix built once per call.
 
 #pragma once
 
@@ -38,13 +41,25 @@ enum class CoverMode {
 struct CoverStats {
   std::size_t prime_count = 0;      ///< primes generated
   std::size_t essential_count = 0;  ///< essential primes found
-  bool exact = true;                ///< false if greedy fallback engaged
+  /// True when the returned cover is a proven minimum-cardinality cover.
+  /// False when the branch-and-bound node budget ran out — either with a
+  /// valid incumbent (which is returned as-is) or with the greedy
+  /// completion engaged.
+  bool exact = true;
 };
 
-/// Selects a cover of the ON-set from the function's primes.
-[[nodiscard]] Cover select_cover(int num_vars, std::span<const Minterm> on,
-                                 std::span<const Minterm> dc, CoverMode mode,
-                                 CoverStats* stats = nullptr);
+/// Default branch-and-bound node budget for the exact cover completion.
+inline constexpr std::size_t kDefaultExactNodeBudget = 2'000'000;
+
+/// Selects a cover of the ON-set from the function's primes.  The exact
+/// completion (kEssentialSop) expands at most `exact_node_budget` search
+/// nodes; on overrun the best cover found so far is kept (see
+/// CoverStats::exact), and greedy fills in only when no complete cover
+/// was reached at all.
+[[nodiscard]] Cover select_cover(
+    int num_vars, std::span<const Minterm> on, std::span<const Minterm> dc,
+    CoverMode mode, CoverStats* stats = nullptr,
+    std::size_t exact_node_budget = kDefaultExactNodeBudget);
 
 /// Convenience: minimum essential-SOP cover (paper's reduction for Z/SSD/Y).
 [[nodiscard]] Cover minimize_sop(int num_vars, std::span<const Minterm> on,

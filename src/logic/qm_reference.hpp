@@ -1,0 +1,29 @@
+// Reference cover selection — the pre-bitset Quine-McCluskey covering
+// path, preserved verbatim in behavior.
+//
+// The production engine (qm.cpp on top of cover_engine.hpp) replaced
+// this sorted-vector + binary_search implementation.  It is kept ONLY as
+// an oracle: the equivalence suite (tests/test_qm_equivalence.cpp)
+// asserts the bitset path selects covers of identical cardinality
+// whenever both solve exactly, and bench_qm reports the before/after
+// speedup against it.  Never call it from the pipeline.
+
+#pragma once
+
+#include <span>
+
+#include "logic/qm.hpp"
+
+namespace seance::logic {
+
+/// Seed-behavior cover selection: essential primes, then exact branch and
+/// bound (node budget 2'000'000, attempted only when
+/// rows*columns <= 200'000) falling back to greedy.  Same contract as
+/// select_cover, including CoverStats reporting.
+[[nodiscard]] Cover reference_select_cover(int num_vars,
+                                           std::span<const Minterm> on,
+                                           std::span<const Minterm> dc,
+                                           CoverMode mode,
+                                           CoverStats* stats = nullptr);
+
+}  // namespace seance::logic

@@ -1,0 +1,146 @@
+#include "logic/cover_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace seance::logic {
+namespace {
+
+bool is_valid_cover(const CoverTable& t, const std::vector<std::size_t>& cols) {
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    bool covered = false;
+    for (std::size_t c : cols) {
+      if (t.covers(c, r)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+TEST(CoverEngine, EmptyTableIsTriviallyExact) {
+  const CoverTable t(0, 5);
+  const MinCoverResult r = solve_min_cover(t, 1000);
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.columns.empty());
+}
+
+TEST(CoverEngine, SingleColumnCoversEverything) {
+  CoverTable t(70, 3);  // spans two words
+  for (std::size_t r = 0; r < 70; ++r) t.set(r, 1);
+  t.set(0, 0);
+  t.set(69, 2);
+  const MinCoverResult r = solve_min_cover(t, 1000);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.columns, std::vector<std::size_t>{1});
+}
+
+TEST(CoverEngine, IdentityMatrixNeedsAllColumns) {
+  CoverTable t(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) t.set(i, i);
+  const MinCoverResult r = solve_min_cover(t, 1000);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.columns.size(), 6u);  // every column is a unit row's only cover
+}
+
+TEST(CoverEngine, UncoverableRowReportsNotFound) {
+  CoverTable t(3, 2);
+  t.set(0, 0);
+  t.set(1, 1);
+  // Row 2 has no covering column.
+  const MinCoverResult r = solve_min_cover(t, 1000);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.exact);  // proven uncoverable, not a budget artifact
+  EXPECT_FALSE(greedy_cover(t).has_value());
+}
+
+CoverTable greedy_trap() {
+  // Optimal cover is {A, B}; greedy grabs the size-4 column C first and
+  // needs three.  Reduction alone solves it: rows 2 and 5 dominate their
+  // neighbours and force A and B.
+  CoverTable t(6, 3);
+  for (std::size_t r : {0u, 1u, 2u}) t.set(r, 0);  // A
+  for (std::size_t r : {3u, 4u, 5u}) t.set(r, 1);  // B
+  for (std::size_t r : {0u, 1u, 3u, 4u}) t.set(r, 2);  // C
+  return t;
+}
+
+TEST(CoverEngine, ReductionBeatsGreedyOnTrapInstance) {
+  const CoverTable t = greedy_trap();
+  const MinCoverResult r = solve_min_cover(t, 1000);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.columns, (std::vector<std::size_t>{0, 1}));
+
+  const auto g = greedy_cover(t);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(is_valid_cover(t, *g));
+  EXPECT_EQ(g->size(), 3u);  // documents greedy's known suboptimality
+}
+
+CoverTable cyclic_ring(std::size_t n) {
+  // Column i covers rows {i, i+1 mod n}: no unit rows, no dominance —
+  // the branch and bound has to work.  Minimum cover is ceil(n/2).
+  CoverTable t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.set(i, i);
+    t.set((i + 1) % n, i);
+  }
+  return t;
+}
+
+TEST(CoverEngine, CyclicChartSolvedExactly) {
+  const CoverTable t = cyclic_ring(8);
+  const MinCoverResult r = solve_min_cover(t, 1'000'000);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.columns.size(), 4u);
+  EXPECT_TRUE(is_valid_cover(t, r.columns));
+  EXPECT_GT(r.nodes, 0u);
+}
+
+// Regression for the seed bug: when the node budget ran out, the solver
+// threw away a valid incumbent and reported failure, silently demoting
+// the caller to greedy.  The engine must return the incumbent with
+// exact=false instead.
+TEST(CoverEngine, BudgetExhaustionKeepsIncumbent) {
+  const CoverTable t = cyclic_ring(12);
+  const MinCoverResult full = solve_min_cover(t, 1'000'000);
+  ASSERT_TRUE(full.found);
+  ASSERT_TRUE(full.exact);
+  EXPECT_EQ(full.columns.size(), 6u);
+
+  bool saw_inexact_incumbent = false;
+  for (std::size_t budget = 1; budget <= full.nodes; ++budget) {
+    const MinCoverResult r = solve_min_cover(t, budget);
+    if (r.found) {
+      EXPECT_TRUE(is_valid_cover(t, r.columns)) << "budget " << budget;
+      EXPECT_GE(r.columns.size(), full.columns.size()) << "budget " << budget;
+      if (!r.exact) saw_inexact_incumbent = true;
+    } else {
+      // Only acceptable before any complete cover was reached.
+      EXPECT_FALSE(r.exact) << "budget " << budget;
+    }
+  }
+  EXPECT_TRUE(saw_inexact_incumbent)
+      << "no budget produced a kept incumbent — the regression guard is dead";
+}
+
+TEST(CoverEngine, GreedyCoversWideTables) {
+  // 130 rows (three words), staggered columns.
+  CoverTable t(130, 13);
+  for (std::size_t r = 0; r < 130; ++r) t.set(r, r % 13);
+  const auto g = greedy_cover(t);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(is_valid_cover(t, *g));
+  EXPECT_EQ(g->size(), 13u);
+}
+
+}  // namespace
+}  // namespace seance::logic

@@ -78,6 +78,29 @@ TEST(HazardSearch, FindHazardsCollectsLists) {
   EXPECT_TRUE(lists.per_var[0].empty());
 }
 
+TEST(HazardSearch, NullTableThrowsBeforeAnyAccess) {
+  // Regression: the seed dereferenced encoded.table one line before the
+  // nullptr check, so this call was undefined behavior instead of the
+  // documented invalid_argument.
+  EncodedTable encoded;
+  encoded.table = nullptr;
+  encoded.num_state_vars = 2;
+  EXPECT_THROW((void)find_hazards(encoded), std::invalid_argument);
+}
+
+TEST(HazardSearch, NotInvariantMaskAgreesWithList) {
+  const Fixture f(/*disturb=*/true);
+  const std::uint32_t mask = notinvariant_mask(f.encoded, 0, 1, 0b01);
+  EXPECT_EQ(mask, 0b10u);  // variable 1 disturbed, variable 0 free to move
+  const auto vars = notinvariant(f.encoded, 0, 1, 0b01);
+  std::uint32_t rebuilt = 0;
+  for (int n : vars) rebuilt |= 1u << n;
+  EXPECT_EQ(rebuilt, mask);
+  // Clean variant: both forms agree on "nothing disturbed".
+  const Fixture clean(/*disturb=*/false);
+  EXPECT_EQ(notinvariant_mask(clean.encoded, 0, 1, 0b01), 0u);
+}
+
 TEST(HazardSearch, CleanTableHasEmptyLists) {
   const Fixture f(/*disturb=*/false);
   const HazardLists lists = find_hazards(f.encoded);

@@ -105,6 +105,29 @@ TEST(Qm, CoverStatsReportEssentials) {
   EXPECT_TRUE(stats.exact);
 }
 
+TEST(Qm, TinyNodeBudgetStillYieldsValidCovers) {
+  // Regression companion to CoverEngine.BudgetExhaustionKeepsIncumbent:
+  // whatever the budget, select_cover must hand back a functionally
+  // correct cover — via the kept incumbent or the greedy completion —
+  // and report exactness honestly.
+  const auto f = testutil::random_function(6, 0.35, 0.15, 99);
+  CoverStats full_stats;
+  const Cover full = select_cover(6, f.on, f.dc, CoverMode::kEssentialSop,
+                                  &full_stats);
+  ASSERT_TRUE(full_stats.exact);
+  for (std::size_t budget : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                             std::size_t{64}}) {
+    CoverStats stats;
+    const Cover cover = select_cover(6, f.on, f.dc, CoverMode::kEssentialSop,
+                                     &stats, budget);
+    EXPECT_TRUE(cover.equals_function(f.on, f.dc)) << "budget " << budget;
+    EXPECT_GE(cover.size(), full.size()) << "budget " << budget;
+    if (cover.size() > full.size()) {
+      EXPECT_FALSE(stats.exact) << "budget " << budget;
+    }
+  }
+}
+
 struct QmRandomCase {
   int num_vars;
   double p_on;
