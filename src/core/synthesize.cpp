@@ -161,7 +161,8 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
     }
     const auto on = spec.on_set();
     const auto dc = spec.dc_set(layout.xy_vars());
-    Equation eq(select_cover(layout.xy_vars(), on, dc, options.cover_mode));
+    Equation eq(select_cover(layout.xy_vars(), on, dc, options.cover_mode,
+                             nullptr, options.cover_node_budget));
     eq.expr = logic::first_level_sop_expr(eq.cover);
     machine.z.push_back(std::move(eq));
   }
@@ -188,7 +189,9 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
     }
     const auto on = spec.on_set();
     const auto dc = spec.dc_set(layout.xy_vars());
-    machine.ssd = Equation(select_cover(layout.xy_vars(), on, dc, options.cover_mode));
+    machine.ssd = Equation(select_cover(layout.xy_vars(), on, dc,
+                                        options.cover_mode, nullptr,
+                                        options.cover_node_budget));
     machine.ssd.expr = logic::first_level_sop_expr(machine.ssd.cover);
   }
 
@@ -248,7 +251,9 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
     }
     const auto on = spec.on_set();
     const auto dc = spec.dc_set(layout.y_space_vars());
-    Equation eq(select_cover(layout.y_space_vars(), on, dc, options.cover_mode));
+    Equation eq(select_cover(layout.y_space_vars(), on, dc,
+                             options.cover_mode, nullptr,
+                             options.cover_node_budget));
     if (options.consensus_repair) {
       (void)logic::make_sic_static1_hazard_free(eq.cover);
     }

@@ -77,6 +77,10 @@ struct SynthesisOptions {
   bool consensus_repair = true;
   /// Cover policy for Y/Z/SSD (fsv always uses all primes when enabled).
   logic::CoverMode cover_mode = logic::CoverMode::kEssentialSop;
+  /// Branch-and-bound node budget for each exact cover completion.
+  /// Exposed so the limit-tuning sweep (bench_primes --sweep-limits) can
+  /// drive the real pipeline; the default is the production setting.
+  std::size_t cover_node_budget = logic::kDefaultExactNodeBudget;
   assign::AssignOptions assign;
   minimize::ReduceOptions reduce;
 };

@@ -122,13 +122,19 @@ std::string BatchReport::summary(bool per_job) const {
                   "check", "ms");
     out += line;
     for (const auto& j : jobs) {
+      // The name goes through std::string so arbitrarily long KISS2
+      // paths never truncate the row's trailing columns (mirrors
+      // to_csv); only the bounded numeric tail uses the stack buffer.
+      std::string row = j.name;
+      if (row.size() < 24) row.append(24 - row.size(), ' ');
       std::snprintf(line, sizeof(line),
-                    "%-24s %3d/%-2d %2d>%-2d %4d %4d %2d/%d/%d %7d %6s %9.2f\n",
-                    j.name.c_str(), j.num_inputs, j.num_outputs, j.input_states,
+                    " %3d/%-2d %2d>%-2d %4d %4d %2d/%d/%d %7d %6s %9.2f\n",
+                    j.num_inputs, j.num_outputs, j.input_states,
                     j.synthesized_states, j.state_vars, j.fl_hazards,
                     j.depth.fsv_depth, j.depth.y_depth, j.depth.total_depth,
                     j.gate_count, to_string(j.status), j.wall_ms);
-      out += line;
+      row += line;
+      out += row;
       if (!j.ok() && !j.detail.empty()) {
         out += "    ^ " + j.detail + "\n";
       }
@@ -218,6 +224,12 @@ void BatchRunner::add_hard_generated(int count, std::uint64_t base_seed) {
   add_generated(count, gen, "hard");
 }
 
+void BatchRunner::add_harder_generated(int count, std::uint64_t base_seed) {
+  bench_suite::GeneratorOptions gen = kHarderShape;
+  gen.seed = base_seed;
+  add_generated(count, gen, "harder");
+}
+
 JobResult run_with_deadline(std::string name, double timeout_ms,
                             std::function<JobResult()> body) {
   // The worker publishes into shared state it co-owns: on timeout we walk
@@ -228,6 +240,7 @@ JobResult run_with_deadline(std::string name, double timeout_ms,
     bool done = false;
     JobResult result;
   };
+  const auto start = Clock::now();
   auto slot = std::make_shared<Slot>();
   std::thread([slot, body = std::move(body), name] {
     JobResult r;
@@ -257,7 +270,9 @@ JobResult run_with_deadline(std::string name, double timeout_ms,
   r.name = std::move(name);
   r.status = JobStatus::kTimeout;
   r.detail = "exceeded " + format_fixed(timeout_ms, 0) + " ms (worker abandoned)";
-  r.wall_ms = timeout_ms;
+  // Measured elapsed time, not the nominal budget: wait_for can overshoot
+  // (scheduling, clock granularity), and hiding that skews perf reports.
+  r.wall_ms = ms_since(start);
   return r;
 }
 
@@ -318,6 +333,18 @@ BatchReport BatchRunner::run() const {
   report.threads_used = threads;
   const auto start = Clock::now();
 
+  // One sanitized options copy per run, shared by every watchdog body:
+  // BatchOptions carries std::function members, so copying it per job
+  // was real work, and the progress callback must not leak into
+  // abandoned workers.  Shared ownership (not a reference) because an
+  // abandoned worker may outlive this runner and this run() call.
+  std::shared_ptr<const BatchOptions> sanitized;
+  if (options_.job_timeout_ms > 0) {
+    auto opts = std::make_shared<BatchOptions>(options_);
+    opts->on_result = nullptr;
+    sanitized = std::move(opts);
+  }
+
   // Work-stealing by atomic index: workers write disjoint slots of
   // report.jobs; the counter and the progress channel are the only shared
   // state.
@@ -330,14 +357,11 @@ BatchReport BatchRunner::run() const {
       if (i >= jobs_.size()) return;
       const JobSpec& spec = jobs_[i];
       if (options_.job_timeout_ms > 0) {
-        // The watchdog body owns a copy of the spec: an abandoned worker
-        // may outlive this runner (and even this run() call).
+        // The watchdog body owns a copy of the spec (an abandoned worker
+        // may outlive the runner) but shares the one sanitized options.
         report.jobs[i] = run_with_deadline(
             spec.name, options_.job_timeout_ms,
-            [spec, synthesis_options = options_]() mutable {
-              synthesis_options.on_result = nullptr;
-              return run_job(spec, synthesis_options);
-            });
+            [spec, sanitized] { return run_job(spec, *sanitized); });
         if (report.jobs[i].status == JobStatus::kTimeout) {
           report.jobs[i].num_inputs = spec.table.num_inputs();
           report.jobs[i].num_outputs = spec.table.num_outputs();

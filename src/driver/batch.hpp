@@ -71,6 +71,20 @@ inline constexpr bench_suite::GeneratorOptions kHardShape{
     .mic_bias = 0.7,
     .seed = 1};
 
+/// The harder canonical shape (ROADMAP: 10-12 states / 5 inputs) opened
+/// by the word-parallel prime engine.  `seance_cli --harder N` and the
+/// golden corpus batch exactly this shape — only the base seed varies.
+/// Its equations land at 12-14 variables (5 inputs + state variables +
+/// fsv), the range the retuned kExactCellLimit / exact node budget were
+/// swept on (bench/bench_primes.cpp --sweep-limits).
+inline constexpr bench_suite::GeneratorOptions kHarderShape{
+    .num_states = 12,
+    .num_inputs = 5,
+    .num_outputs = 2,
+    .transition_density = 0.5,
+    .mic_bias = 0.7,
+    .seed = 1};
+
 /// One unit of work: a named table plus its synthesis options.
 struct JobSpec {
   std::string name;
@@ -193,6 +207,9 @@ class BatchRunner {
   /// from `base_seed`; jobs are named hard-8x4-NNNN so they can never
   /// collide with an add_generated stream at the same shape.
   void add_hard_generated(int count, std::uint64_t base_seed);
+  /// `count` tables at the hardest canonical shape (kHarderShape) seeded
+  /// from `base_seed`; jobs are named harder-12x5-NNNN.
+  void add_harder_generated(int count, std::uint64_t base_seed);
 
   [[nodiscard]] int job_count() const { return static_cast<int>(jobs_.size()); }
   [[nodiscard]] const std::vector<JobSpec>& jobs() const { return jobs_; }

@@ -342,22 +342,49 @@ std::optional<std::vector<std::size_t>> greedy_cover(const CoverTable& table) {
     uncovered[r / 64] |= std::uint64_t{1} << (r % 64);
   }
   std::size_t left = table.num_rows();
+
+  // Lazy greedy: a column's gain only ever decreases as rows get
+  // covered, so the cached gains are upper bounds and a max-heap of
+  // stale entries needs to recompute only what floats to the top —
+  // instead of rescanning every column per pick.  The comparator
+  // prefers larger gain then lower column index, which is exactly the
+  // argmax the eager linear scan used, so the chosen cover (and the
+  // determinism contract) is unchanged.
+  struct Entry {
+    std::size_t gain;
+    std::size_t col;
+  };
+  const auto worse = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.col > b.col;
+  };
+  std::vector<Entry> heap;
+  heap.reserve(table.num_cols());
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    const std::size_t gain = popcount_and(table.column(c), uncovered.data(), words);
+    if (gain > 0) heap.push_back({gain, c});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
   std::vector<std::size_t> chosen;
   while (left > 0) {
-    std::size_t best = kNone;
-    std::size_t best_gain = 0;
-    for (std::size_t c = 0; c < table.num_cols(); ++c) {
-      const std::size_t gain = popcount_and(table.column(c), uncovered.data(), words);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = c;
-      }
+    if (heap.empty()) return std::nullopt;
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    const Entry top = heap.back();
+    heap.pop_back();
+    const std::size_t gain =
+        popcount_and(table.column(top.col), uncovered.data(), words);
+    if (gain == 0) continue;
+    if (!heap.empty() && worse(Entry{gain, top.col}, heap.front())) {
+      // Stale: after refreshing, some other column may beat it.
+      heap.push_back({gain, top.col});
+      std::push_heap(heap.begin(), heap.end(), worse);
+      continue;
     }
-    if (best == kNone) return std::nullopt;
-    const std::uint64_t* col = table.column(best);
+    const std::uint64_t* col = table.column(top.col);
     for (std::size_t w = 0; w < words; ++w) uncovered[w] &= ~col[w];
-    left -= best_gain;
-    chosen.push_back(best);
+    left -= gain;
+    chosen.push_back(top.col);
   }
   return chosen;
 }

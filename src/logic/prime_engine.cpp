@@ -1,0 +1,436 @@
+#include "logic/prime_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace seance::logic::prime_engine {
+
+namespace {
+
+// Packed level word: [care:24][popcount(value):6][value:24].  Sorting
+// these words groups equal care masks into contiguous runs and, inside a
+// run, partitions values into QM weight buckets — the whole level
+// structure comes from one std::sort.
+constexpr int kCareShift = 30;
+constexpr int kWeightShift = 24;
+constexpr std::uint64_t kValueMask = (std::uint64_t{1} << kWeightShift) - 1;
+
+std::uint64_t encode(std::uint32_t care, std::uint32_t value) {
+  return (static_cast<std::uint64_t>(care) << kCareShift) |
+         (static_cast<std::uint64_t>(std::popcount(value)) << kWeightShift) |
+         value;
+}
+
+std::uint32_t care_of(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w >> kCareShift);
+}
+std::uint32_t weight_of(std::uint64_t w) {
+  return static_cast<std::uint32_t>((w >> kWeightShift) & 0x3f);
+}
+std::uint32_t value_of(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w & kValueMask);
+}
+
+// The dense regime: when the OFF-set is small relative to the minterm
+// space, the implicant lattice of ON∪DC is enormous (near-tautologies
+// at 15 variables have ~10^7 implicants) but the *prime count* stays
+// modest, so an output-sensitive algorithm wins by orders of magnitude.
+// Sharp path: primes = maximal cubes avoiding OFF.  Start from the
+// universal cube; for each OFF minterm, split every cube containing it
+// into its free-variable fragments (cube minus that point) and absorb
+// fragments contained in surviving cubes.  Every prime survives: a
+// prime P disagrees with each OFF minterm on some variable that must be
+// free in any containing cube, so P stays inside some fragment at every
+// step, and whatever finally contains P equals P by maximality.  A
+// final single-bit-enlargement test drops the non-maximal stragglers
+// one-directional absorption can leave behind.
+constexpr std::size_t kSharpOffFactor = 8;  // sharp iff |OFF| <= space/8
+
+struct SharpCube {
+  std::uint32_t care;
+  std::uint32_t value;
+};
+
+std::vector<std::uint64_t> sharp_primes(std::uint32_t full,
+                                        const std::vector<std::uint64_t>& seen,
+                                        std::size_t space) {
+  // Allowed (ON∪DC) bitset and the OFF list.
+  std::vector<std::uint64_t> allowed(space / 64 + 1, 0);
+  for (std::uint64_t w : seen) {
+    const std::uint32_t m = value_of(w);
+    allowed[m / 64] |= std::uint64_t{1} << (m % 64);
+  }
+  std::vector<std::uint32_t> off;
+  off.reserve(space - seen.size());
+  for (std::uint32_t m = 0; m < space; ++m) {
+    if (!((allowed[m / 64] >> (m % 64)) & 1u)) off.push_back(m);
+  }
+
+  std::vector<SharpCube> cubes{{0u, 0u}};
+  std::vector<SharpCube> next;
+  std::vector<SharpCube> fresh;
+  for (std::uint32_t o : off) {
+    next.clear();
+    fresh.clear();
+    for (const SharpCube& c : cubes) {
+      if (((o ^ c.value) & c.care) != 0) {
+        next.push_back(c);
+        continue;
+      }
+      // c contains o: the fragments (one free variable fixed opposite
+      // to o) cover exactly c minus the point o.
+      for (std::uint32_t bits = full & ~c.care; bits != 0; bits &= bits - 1) {
+        const std::uint32_t b = bits & (0u - bits);
+        fresh.push_back({c.care | b, c.value | (~o & b)});
+      }
+    }
+    // One-directional absorption: a fragment sits inside its parent, so
+    // no surviving cube can be inside a fragment — only fragments need
+    // testing, against survivors and earlier-accepted fragments.
+    for (const SharpCube& f : fresh) {
+      bool absorbed = false;
+      for (const SharpCube& s : next) {
+        if ((s.care & ~f.care) == 0 && ((s.value ^ f.value) & s.care) == 0) {
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) next.push_back(f);
+    }
+    cubes.swap(next);
+  }
+
+  // Maximality filter: keep a cube only if no single freed literal
+  // stays OFF-free.  The sub-cube walk tests whole 64-minterm words at
+  // a time where the low free variables allow it.
+  const auto off_free = [&](std::uint32_t care, std::uint32_t value) {
+    const std::uint32_t free = full & ~care;
+    const std::uint32_t lowfree = free & 63u;
+    const std::uint32_t highfree = free & ~63u;
+    std::uint64_t pattern = 0;
+    std::uint32_t t = 0;
+    do {
+      pattern |= std::uint64_t{1} << ((value & 63u) | t);
+      t = (t - lowfree) & lowfree;
+    } while (t != 0);
+    std::uint32_t s = 0;
+    do {
+      const std::uint64_t w = allowed[(value | s) >> 6];
+      if ((w & pattern) != pattern) return false;
+      s = (s - highfree) & highfree;
+    } while (s != 0);
+    return true;
+  };
+  std::vector<std::uint64_t> primes;
+  primes.reserve(cubes.size());
+  for (const SharpCube& c : cubes) {
+    bool maximal = true;
+    for (std::uint32_t bits = c.care; bits != 0 && maximal; bits &= bits - 1) {
+      const std::uint32_t b = bits & (0u - bits);
+      if (off_free(c.care ^ b, c.value & ~b)) maximal = false;
+    }
+    if (maximal) primes.push_back(encode(c.care, c.value));
+  }
+  return primes;
+}
+
+// Prime generation: packed level-0 construction, then either the sharp
+// path (dense ON∪DC) or the word-parallel level-by-level adjacency
+// merge.  Returns the packed (care, value) words of every prime, in
+// generation order.
+std::vector<std::uint64_t> merge_levels(int num_vars,
+                                        std::span<const Minterm> on,
+                                        std::span<const Minterm> dc) {
+  if (num_vars < 0 || num_vars > kMaxVars) {
+    throw std::invalid_argument("prime_engine: num_vars out of range");
+  }
+  const std::uint32_t full =
+      num_vars == 0 ? 0u : (std::uint32_t{1} << num_vars) - 1u;
+
+  std::vector<std::uint64_t> level;
+  level.reserve(on.size() + dc.size());
+  for (Minterm m : on) level.push_back(encode(full, m & full));
+  for (Minterm m : dc) level.push_back(encode(full, m & full));
+  std::sort(level.begin(), level.end());
+  level.erase(std::unique(level.begin(), level.end()), level.end());
+
+  const std::size_t space = std::size_t{1} << num_vars;
+  if (!level.empty() && (space - level.size()) * kSharpOffFactor <= space) {
+    return sharp_primes(full, level, space);
+  }
+
+  // Within-word "position has index bit b clear" patterns, b in [0, 6).
+  static constexpr std::uint64_t kBitClear[6] = {
+      0x5555555555555555ull, 0x3333333333333333ull, 0x0f0f0f0f0f0f0f0full,
+      0x00ff00ff00ff00ffull, 0x0000ffff0000ffffull, 0x00000000ffffffffull};
+
+  std::vector<std::uint64_t> primes;
+  std::vector<std::uint64_t> next;
+  std::vector<char> combined;
+  // Scratch bitsets over the raw value space, for groups dense enough
+  // that word-wide pairing beats element scans (lazily allocated).
+  const std::size_t vwords = (space + 63) / 64;
+  std::vector<std::uint64_t> sbits;  ///< the group's value set
+  std::vector<std::uint64_t> cbits;  ///< combined marks
+  while (!level.empty()) {
+    combined.assign(level.size(), 0);
+    next.clear();
+    std::size_t group = 0;
+    while (group < level.size()) {
+      const std::uint32_t care = care_of(level[group]);
+      std::size_t group_end = group;
+      while (group_end < level.size() && care_of(level[group_end]) == care) {
+        ++group_end;
+      }
+      // Emit-once: a merged cube with free set F arises from |F| parent
+      // groups (one per dropped bit); emitting it only when the dropped
+      // bit is F's lowest keeps `next` duplicate-free by construction.
+      // Pairs must still be *examined* for every bit — combination marks
+      // survivors — only the push is gated.
+      const std::uint32_t group_free = full & ~care;
+      const std::uint32_t emit_below =
+          group_free != 0 ? (group_free & (0u - group_free)) : ~0u;
+
+      if ((group_end - group) * 4 >= vwords) {
+        // Dense group: project the values onto a bitset and pair all 64
+        // positions of a word at once — candidates with bit b clear AND
+        // a partner at value|b reduce to S & (S >> 2^b) under a block
+        // mask.  Chosen only when the member count is at least the word
+        // count, so the bitset build/clear never dominates.
+        if (sbits.empty()) {
+          sbits.assign(vwords, 0);
+          cbits.assign(vwords, 0);
+        }
+        for (std::size_t i = group; i < group_end; ++i) {
+          const std::uint32_t v = value_of(level[i]);
+          sbits[v / 64] |= std::uint64_t{1} << (v % 64);
+        }
+        for (std::uint32_t bits = care; bits != 0; bits &= bits - 1) {
+          const std::uint32_t bit = bits & (0u - bits);
+          const int b = std::countr_zero(bit);
+          const bool emit = bit < emit_below;
+          if (b >= 6) {
+            // Partner lives exactly 2^(b-6) words ahead; block index
+            // parity of the word says whether position bit b is clear.
+            const std::size_t wd = std::size_t{1} << (b - 6);
+            for (std::size_t w = 0; w < vwords; ++w) {
+              if ((w >> (b - 6)) & 1u) continue;
+              const std::uint64_t pairs = sbits[w] & sbits[w + wd];
+              if (pairs == 0) continue;
+              cbits[w] |= pairs;
+              cbits[w + wd] |= pairs;
+              if (!emit) continue;
+              std::uint64_t p = pairs;
+              while (p != 0) {
+                const std::uint32_t v = static_cast<std::uint32_t>(
+                    w * 64 + static_cast<std::size_t>(std::countr_zero(p)));
+                p &= p - 1;
+                next.push_back(encode(care ^ bit, v));
+              }
+            }
+          } else {
+            // Partner is 2^b positions ahead inside the same word.
+            const int shift = 1 << b;
+            const std::uint64_t clear_mask = kBitClear[b];
+            for (std::size_t w = 0; w < vwords; ++w) {
+              const std::uint64_t pairs =
+                  sbits[w] & clear_mask & (sbits[w] >> shift);
+              if (pairs == 0) continue;
+              cbits[w] |= pairs | (pairs << shift);
+              if (!emit) continue;
+              std::uint64_t p = pairs;
+              while (p != 0) {
+                const std::uint32_t v = static_cast<std::uint32_t>(
+                    w * 64 + static_cast<std::size_t>(std::countr_zero(p)));
+                p &= p - 1;
+                next.push_back(encode(care ^ bit, v));
+              }
+            }
+          }
+        }
+        for (std::size_t i = group; i < group_end; ++i) {
+          const std::uint32_t v = value_of(level[i]);
+          combined[i] =
+              static_cast<char>((cbits[v / 64] >> (v % 64)) & 1u);
+        }
+        std::fill(sbits.begin(), sbits.end(), 0);
+        std::fill(cbits.begin(), cbits.end(), 0);
+        group = group_end;
+        continue;
+      }
+
+      // Sparse group: cubes with identical care combine only across
+      // adjacent weight buckets, so pairing is a two-pointer scan over
+      // each (bucket, bucket+1) run per care bit — values with `bit`
+      // clear (low bucket) and values with `bit` set viewed as
+      // value^bit (high bucket) are both sorted subsequences.
+      std::size_t lo = group;
+      while (lo < group_end) {
+        const std::uint32_t w = weight_of(level[lo]);
+        std::size_t lo_end = lo;
+        while (lo_end < group_end && weight_of(level[lo_end]) == w) ++lo_end;
+        if (lo_end < group_end && weight_of(level[lo_end]) == w + 1) {
+          std::size_t hi_end = lo_end;
+          while (hi_end < group_end && weight_of(level[hi_end]) == w + 1) {
+            ++hi_end;
+          }
+          for (std::uint32_t bits = care; bits != 0; bits &= bits - 1) {
+            const std::uint32_t bit = bits & (0u - bits);
+            std::size_t i = lo;
+            std::size_t j = lo_end;
+            while (true) {
+              while (i < lo_end && (value_of(level[i]) & bit) != 0) ++i;
+              while (j < hi_end && (value_of(level[j]) & bit) == 0) ++j;
+              if (i >= lo_end || j >= hi_end) break;
+              const std::uint32_t a = value_of(level[i]);
+              const std::uint32_t b = value_of(level[j]) ^ bit;
+              if (a < b) {
+                ++i;
+              } else if (a > b) {
+                ++j;
+              } else {
+                combined[i] = 1;
+                combined[j] = 1;
+                if (bit < emit_below) next.push_back(encode(care ^ bit, a));
+                ++i;
+                ++j;
+              }
+            }
+          }
+        }
+        lo = lo_end;
+      }
+      group = group_end;
+    }
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (!combined[i]) primes.push_back(level[i]);
+    }
+    // Emit-once keeps `next` duplicate-free; sorting restores the
+    // care-run / weight-bucket level structure.
+    std::sort(next.begin(), next.end());
+    level.swap(next);
+  }
+  return primes;
+}
+
+std::vector<Cube> to_canonical_cubes(int num_vars,
+                                     std::vector<std::uint64_t> keys) {
+  // Canonical order: fewest literals first, then Cube::key — the
+  // historical compute_primes contract, shared with the reference
+  // generator so downstream covers pick identical cubes.
+  std::sort(keys.begin(), keys.end(), [](std::uint64_t a, std::uint64_t b) {
+    const int la = std::popcount(care_of(a));
+    const int lb = std::popcount(care_of(b));
+    if (la != lb) return la < lb;
+    const std::uint64_t ka =
+        (static_cast<std::uint64_t>(care_of(a)) << 32) | value_of(a);
+    const std::uint64_t kb =
+        (static_cast<std::uint64_t>(care_of(b)) << 32) | value_of(b);
+    return ka < kb;
+  });
+  std::vector<Cube> out;
+  out.reserve(keys.size());
+  for (std::uint64_t w : keys) out.emplace_back(num_vars, care_of(w), value_of(w));
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Minterm -> incidence row probe over the caller's sorted ON list: a
+// flat table while the minterm space is cheap (<= 2^20 entries), binary
+// search past that.
+class RowLookup {
+ public:
+  RowLookup(int num_vars, std::uint32_t full, std::span<const Minterm> on_sorted)
+      : on_(on_sorted), flat_(num_vars <= 20) {
+    if (flat_) {
+      row_flat_.assign(std::size_t{1} << num_vars, -1);
+      for (std::size_t i = 0; i < on_.size(); ++i) {
+        row_flat_[on_[i] & full] = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+
+  [[nodiscard]] std::int32_t row_of(Minterm m) const {
+    if (flat_) return row_flat_[m];
+    const auto it = std::lower_bound(on_.begin(), on_.end(), m);
+    if (it == on_.end() || *it != m) return -1;
+    return static_cast<std::int32_t>(it - on_.begin());
+  }
+
+ private:
+  std::span<const Minterm> on_;
+  bool flat_;
+  std::vector<std::int32_t> row_flat_;
+};
+
+}  // namespace
+
+std::vector<Cube> compute_primes(int num_vars, std::span<const Minterm> on,
+                                 std::span<const Minterm> dc) {
+  return to_canonical_cubes(num_vars, merge_levels(num_vars, on, dc));
+}
+
+std::vector<Cube> compute_on_primes(int num_vars,
+                                    std::span<const Minterm> on_sorted,
+                                    std::span<const Minterm> dc) {
+  std::vector<Cube> all =
+      to_canonical_cubes(num_vars, merge_levels(num_vars, on_sorted, dc));
+  const std::uint32_t full =
+      num_vars == 0 ? 0u : (std::uint32_t{1} << num_vars) - 1u;
+  const RowLookup lookup(num_vars, full, on_sorted);
+  // Keep a prime as soon as its sub-cube walk hits one ON minterm — no
+  // row collection, no incidence table.
+  std::erase_if(all, [&](const Cube& p) {
+    const std::uint32_t free = full & ~p.care();
+    std::uint32_t s = 0;
+    do {
+      if (lookup.row_of(p.value() | s) >= 0) return false;
+      s = (s - free) & free;
+    } while (s != 0);
+    return true;  // covers only DC minterms
+  });
+  return all;
+}
+
+PrimeIncidence compute_incidence(int num_vars,
+                                 std::span<const Minterm> on_sorted,
+                                 std::span<const Minterm> dc) {
+  const std::vector<Cube> all =
+      to_canonical_cubes(num_vars, merge_levels(num_vars, on_sorted, dc));
+  const std::uint32_t full =
+      num_vars == 0 ? 0u : (std::uint32_t{1} << num_vars) - 1u;
+  const RowLookup lookup(num_vars, full, on_sorted);
+
+  // Each prime scatters its own minterm sub-cube (submask walk over the
+  // free variables) into rows — never an all-pairs contains() sweep.
+  std::vector<Cube> kept;
+  std::vector<std::vector<std::uint32_t>> kept_rows;
+  std::vector<std::uint32_t> rows;
+  for (const Cube& p : all) {
+    rows.clear();
+    const std::uint32_t free = full & ~p.care();
+    std::uint32_t s = 0;
+    do {
+      const std::int32_t r = lookup.row_of(p.value() | s);
+      if (r >= 0) rows.push_back(static_cast<std::uint32_t>(r));
+      s = (s - free) & free;
+    } while (s != 0);
+    if (rows.empty()) continue;  // covers only DC minterms
+    kept.push_back(p);
+    kept_rows.push_back(rows);
+  }
+
+  PrimeIncidence out{std::move(kept),
+                     CoverTable(on_sorted.size(), kept_rows.size())};
+  for (std::size_t c = 0; c < kept_rows.size(); ++c) {
+    for (std::uint32_t r : kept_rows[c]) out.incidence.set(r, c);
+  }
+  return out;
+}
+
+}  // namespace seance::logic::prime_engine

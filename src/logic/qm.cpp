@@ -4,20 +4,13 @@
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "logic/cover_engine.hpp"
+#include "logic/prime_engine.hpp"
 
 namespace seance::logic {
 
 namespace {
-
-// Ceiling on rows*columns for attempting the exact completion; past it
-// the incidence table itself gets large enough that greedy is the only
-// sane answer.  The node budget (select_cover's parameter) bounds the
-// search effort inside the attempt.
-constexpr std::size_t kExactCellLimit = 16'777'216;
 
 std::vector<Minterm> dedup(std::span<const Minterm> v) {
   std::vector<Minterm> out(v.begin(), v.end());
@@ -30,100 +23,52 @@ std::vector<Minterm> dedup(std::span<const Minterm> v) {
 
 std::vector<Cube> compute_primes(int num_vars, std::span<const Minterm> on,
                                  std::span<const Minterm> dc) {
-  if (num_vars < 0 || num_vars > kMaxVars) {
-    throw std::invalid_argument("compute_primes: num_vars out of range");
-  }
-  const std::vector<Minterm> on_sorted = dedup(on);
-  const std::vector<Minterm> dc_sorted = dedup(dc);
-
-  // Level 0: one full-care cube per ON/DC minterm.
-  std::unordered_set<std::uint64_t> seen;
-  std::vector<Cube> current;
-  for (Minterm m : on_sorted) {
-    Cube c = Cube::from_minterm(num_vars, m);
-    if (seen.insert(c.key()).second) current.push_back(c);
-  }
-  for (Minterm m : dc_sorted) {
-    Cube c = Cube::from_minterm(num_vars, m);
-    if (seen.insert(c.key()).second) current.push_back(c);
-  }
-
-  std::vector<Cube> primes;
-  while (!current.empty()) {
-    // Group by care mask; only cubes with identical care can combine.
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_care;
-    for (std::size_t i = 0; i < current.size(); ++i) {
-      by_care[current[i].care()].push_back(i);
-    }
-    std::vector<char> combined(current.size(), 0);
-    std::unordered_set<std::uint64_t> next_seen;
-    std::vector<Cube> next;
-    for (const auto& [care, idxs] : by_care) {
-      // Hash values for O(1) one-bit-apart lookups.
-      std::unordered_map<std::uint32_t, std::size_t> by_value;
-      for (std::size_t i : idxs) by_value.emplace(current[i].value(), i);
-      for (std::size_t i : idxs) {
-        const std::uint32_t v = current[i].value();
-        for (int b = 0; b < num_vars; ++b) {
-          const std::uint32_t bit = 1u << b;
-          if (!(care & bit)) continue;
-          const auto it = by_value.find(v ^ bit);
-          if (it == by_value.end()) continue;
-          combined[i] = 1;
-          combined[it->second] = 1;
-          Cube merged(num_vars, care & ~bit, v & ~bit);
-          if (next_seen.insert(merged.key()).second) next.push_back(merged);
-        }
-      }
-    }
-    for (std::size_t i = 0; i < current.size(); ++i) {
-      if (!combined[i]) primes.push_back(current[i]);
-    }
-    current = std::move(next);
-  }
-  // Canonical order: fewest literals first, then by key.
-  std::sort(primes.begin(), primes.end(), [](const Cube& a, const Cube& b) {
-    if (a.literal_count() != b.literal_count()) {
-      return a.literal_count() < b.literal_count();
-    }
-    return a.key() < b.key();
-  });
-  return primes;
+  return prime_engine::compute_primes(num_vars, on, dc);
 }
 
 Cover select_cover(int num_vars, std::span<const Minterm> on,
                    std::span<const Minterm> dc, CoverMode mode,
                    CoverStats* stats, std::size_t exact_node_budget) {
   const std::vector<Minterm> on_sorted = dedup(on);
-  std::vector<Cube> primes = compute_primes(num_vars, on_sorted, dc);
 
-  // Keep only primes useful for the ON-set.
-  std::erase_if(primes, [&](const Cube& p) {
-    return std::none_of(on_sorted.begin(), on_sorted.end(),
-                        [&p](Minterm m) { return p.contains(m); });
-  });
+  // The all-primes mode (every fsv cover) needs only the filtered prime
+  // list — skip the incidence bitmatrix entirely.
+  if (mode == CoverMode::kAllPrimes) {
+    std::vector<Cube> primes =
+        prime_engine::compute_on_primes(num_vars, on_sorted, dc);
+    if (stats != nullptr) {
+      *stats = CoverStats{};
+      stats->prime_count = primes.size();
+    }
+    return Cover(num_vars, std::move(primes));
+  }
+
+  // Primes restricted to the ON-set plus the prime×minterm incidence,
+  // emitted directly as a packed bitmatrix by the word-parallel engine;
+  // it drives essential detection, the covered-set accumulation, and the
+  // candidate columns handed to the covering engine.
+  prime_engine::PrimeIncidence pi =
+      prime_engine::compute_incidence(num_vars, on_sorted, dc);
+  std::vector<Cube>& primes = pi.primes;
+  const CoverTable& incidence = pi.incidence;
 
   if (stats != nullptr) {
     *stats = CoverStats{};
     stats->prime_count = primes.size();
   }
 
-  if (mode == CoverMode::kAllPrimes) {
-    return Cover(num_vars, std::move(primes));
-  }
-
-  // Prime × minterm incidence as a packed bitmatrix, built once; it
-  // drives essential detection, the covered-set accumulation, and the
-  // candidate columns handed to the covering engine.
   const std::size_t num_minterms = on_sorted.size();
-  const std::size_t mwords = (num_minterms + 63) / 64;
-  CoverTable incidence(num_minterms, primes.size());
+  const std::size_t mwords = incidence.words();
   std::vector<std::uint32_t> cover_count(num_minterms, 0);
   std::vector<std::size_t> sole(num_minterms, 0);
   for (std::size_t p = 0; p < primes.size(); ++p) {
-    for (std::size_t m = 0; m < num_minterms; ++m) {
-      if (primes[p].contains(on_sorted[m])) {
-        incidence.set(m, p);
+    const std::uint64_t* col = incidence.column(p);
+    for (std::size_t w = 0; w < mwords; ++w) {
+      std::uint64_t bits = col[w];
+      while (bits != 0) {
+        const std::size_t m =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
         ++cover_count[m];
         sole[m] = p;
       }

@@ -4,10 +4,12 @@
 // to "essential SOP" form with Quine-McCluskey, and (paper §5.3, step 7)
 // reduces fsv to *all* of its prime implicants so the cover is free of
 // logic hazards under single-variable moves.  Both cover styles are
-// produced here.  Cover completion runs on the packed-bitset covering
+// produced here.  Prime generation runs on the word-parallel engine
+// (prime_engine.hpp), which also emits the prime×minterm incidence as a
+// packed bitmatrix; cover completion runs on the packed-bitset covering
 // engine (cover_engine.hpp): essentials, dominance reduction, exact
-// branch and bound, and the greedy fallback all work on a prime×minterm
-// incidence bitmatrix built once per call.
+// branch and bound, and the greedy fallback all consume that bitmatrix
+// directly — no per-(prime, minterm) contains() sweep anywhere.
 
 #pragma once
 
@@ -49,7 +51,23 @@ struct CoverStats {
 };
 
 /// Default branch-and-bound node budget for the exact cover completion.
+/// Sweep-checked against the harder 12-state / 5-input corpus
+/// (bench/bench_primes.cpp --sweep-limits): every chart under
+/// kExactCellLimit proved its minimum within ~2'200 nodes, so 2M is
+/// ~1000x headroom; charts above the cell limit stayed unproven even at
+/// 100'000'000 nodes, so raising this buys nothing.
 inline constexpr std::size_t kDefaultExactNodeBudget = 2'000'000;
+
+/// Ceiling on rows*columns of the reduced covering chart for attempting
+/// the exact completion.  Retuned down from 16'777'216 on the harder
+/// 12-state / 5-input corpus: its ~1M-cell cyclic charts (12-15-var Y
+/// equations) never reached a proof at any budget up to 100M nodes, and
+/// the budget-exhausted incumbents were no better than the lazy-greedy
+/// completion (total gates 4742 at 2M nodes / 1.7s vs 4683 greedy /
+/// 0.6s over 8 harder jobs) — so past this size the exact attempt is
+/// pure wall-time loss.  Every chart the corpus ever proved sits well
+/// below it (largest observed: ~391k cells, proven by reduction alone).
+inline constexpr std::size_t kExactCellLimit = 524'288;
 
 /// Selects a cover of the ON-set from the function's primes.  The exact
 /// completion (kEssentialSop) expands at most `exact_node_budget` search

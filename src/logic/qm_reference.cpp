@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace seance::logic {
@@ -101,11 +102,78 @@ class ReferenceExactCover {
 
 }  // namespace
 
+std::vector<Cube> reference_compute_primes(int num_vars,
+                                           std::span<const Minterm> on,
+                                           std::span<const Minterm> dc) {
+  // The seed's hash-map adjacency merge, preserved verbatim: group by
+  // care mask, probe an unordered_map of values for the one-bit-apart
+  // partner, dedup merges through an unordered_set of cube keys.
+  if (num_vars < 0 || num_vars > kMaxVars) {
+    throw std::invalid_argument("reference_compute_primes: num_vars out of range");
+  }
+  const std::vector<Minterm> on_sorted = dedup(on);
+  const std::vector<Minterm> dc_sorted = dedup(dc);
+
+  // Level 0: one full-care cube per ON/DC minterm.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Cube> current;
+  for (Minterm m : on_sorted) {
+    Cube c = Cube::from_minterm(num_vars, m);
+    if (seen.insert(c.key()).second) current.push_back(c);
+  }
+  for (Minterm m : dc_sorted) {
+    Cube c = Cube::from_minterm(num_vars, m);
+    if (seen.insert(c.key()).second) current.push_back(c);
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    // Group by care mask; only cubes with identical care can combine.
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_care;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      by_care[current[i].care()].push_back(i);
+    }
+    std::vector<char> combined(current.size(), 0);
+    std::unordered_set<std::uint64_t> next_seen;
+    std::vector<Cube> next;
+    for (const auto& [care, idxs] : by_care) {
+      // Hash values for O(1) one-bit-apart lookups.
+      std::unordered_map<std::uint32_t, std::size_t> by_value;
+      for (std::size_t i : idxs) by_value.emplace(current[i].value(), i);
+      for (std::size_t i : idxs) {
+        const std::uint32_t v = current[i].value();
+        for (int b = 0; b < num_vars; ++b) {
+          const std::uint32_t bit = 1u << b;
+          if (!(care & bit)) continue;
+          const auto it = by_value.find(v ^ bit);
+          if (it == by_value.end()) continue;
+          combined[i] = 1;
+          combined[it->second] = 1;
+          Cube merged(num_vars, care & ~bit, v & ~bit);
+          if (next_seen.insert(merged.key()).second) next.push_back(merged);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!combined[i]) primes.push_back(current[i]);
+    }
+    current = std::move(next);
+  }
+  // Canonical order: fewest literals first, then by key.
+  std::sort(primes.begin(), primes.end(), [](const Cube& a, const Cube& b) {
+    if (a.literal_count() != b.literal_count()) {
+      return a.literal_count() < b.literal_count();
+    }
+    return a.key() < b.key();
+  });
+  return primes;
+}
+
 Cover reference_select_cover(int num_vars, std::span<const Minterm> on,
                              std::span<const Minterm> dc, CoverMode mode,
                              CoverStats* stats) {
   const std::vector<Minterm> on_sorted = dedup(on);
-  std::vector<Cube> primes = compute_primes(num_vars, on_sorted, dc);
+  std::vector<Cube> primes = reference_compute_primes(num_vars, on_sorted, dc);
 
   std::erase_if(primes, [&](const Cube& p) {
     return std::none_of(on_sorted.begin(), on_sorted.end(),

@@ -183,6 +183,26 @@ TEST(BatchReport, CsvQuotesAwkwardJobNames) {
   EXPECT_EQ(lines, 2u);
 }
 
+TEST(BatchReport, SummaryRowsSurviveVeryLongJobNames) {
+  // A long KISS2 path used to blow the row's fixed 256-byte snprintf
+  // buffer, silently truncating the trailing columns.
+  JobResult j;
+  j.name = std::string(300, 'p') + ".kiss2";
+  j.status = JobStatus::kOk;
+  j.gate_count = 123;
+  j.wall_ms = 4.5;
+  BatchReport report;
+  report.jobs.push_back(j);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find(j.name), std::string::npos);
+  // The columns after the name survive: gate count, status, wall time.
+  const std::size_t row = summary.find(j.name);
+  const std::string tail = summary.substr(row, summary.find('\n', row) - row);
+  EXPECT_NE(tail.find("123"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("ok"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("4.50"), std::string::npos) << tail;
+}
+
 TEST(BatchRunner, EmptyBatchIsTriviallyOk) {
   const BatchReport report = BatchRunner().run();
   EXPECT_TRUE(report.jobs.empty());
@@ -267,6 +287,10 @@ TEST(RunWithDeadline, SlowBodyTimesOutDeterministically) {
   EXPECT_EQ(r.name, "sleepy");
   EXPECT_NE(r.detail.find("abandoned"), std::string::npos);
   EXPECT_FALSE(r.ok());
+  // The recorded wall time is the measured wait, not the nominal budget:
+  // it can only be at or above the deadline (wait_for overshoot included),
+  // and a fabricated `wall_ms = timeout_ms` would hide that overshoot.
+  EXPECT_GE(r.wall_ms, 20.0);
 }
 
 TEST(RunWithDeadline, FastBodyPassesThroughUntouched) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <vector>
 
 namespace seance::logic {
@@ -140,6 +141,66 @@ TEST(CoverEngine, GreedyCoversWideTables) {
   ASSERT_TRUE(g.has_value());
   EXPECT_TRUE(is_valid_cover(t, *g));
   EXPECT_EQ(g->size(), 13u);
+}
+
+// The eager argmax scan greedy_cover replaced (lazy heap): same
+// tie-break contract, kept here as the oracle.
+std::optional<std::vector<std::size_t>> eager_greedy(const CoverTable& t) {
+  const std::size_t words = t.words();
+  std::vector<std::uint64_t> uncovered(words, 0);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    uncovered[r / 64] |= std::uint64_t{1} << (r % 64);
+  }
+  std::size_t left = t.num_rows();
+  std::vector<std::size_t> chosen;
+  while (left > 0) {
+    std::size_t best = t.num_cols();
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < t.num_cols(); ++c) {
+      std::size_t gain = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        gain += static_cast<std::size_t>(
+            std::popcount(t.column(c)[w] & uncovered[w]));
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == t.num_cols()) return std::nullopt;
+    for (std::size_t w = 0; w < words; ++w) uncovered[w] &= ~t.column(best)[w];
+    left -= best_gain;
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+TEST(CoverEngine, LazyGreedyMatchesEagerScanExactly) {
+  // The lazy-heap greedy must pick the *identical* column sequence as
+  // the eager scan — golden corpus reports depend on the tie-break
+  // (largest gain, then lowest column index) never changing.
+  std::uint64_t state = 12345;
+  const auto next_rand = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 20 + next_rand() % 120;
+    const std::size_t cols = 5 + next_rand() % 60;
+    CoverTable t(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      // 1-4 covering columns per row, with deliberate gain collisions.
+      const std::size_t k = 1 + next_rand() % 4;
+      for (std::size_t i = 0; i < k; ++i) t.set(r, next_rand() % cols);
+    }
+    const auto lazy = greedy_cover(t);
+    const auto eager = eager_greedy(t);
+    ASSERT_EQ(lazy.has_value(), eager.has_value()) << "trial " << trial;
+    ASSERT_TRUE(lazy.has_value());
+    EXPECT_EQ(*lazy, *eager) << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// Differential and regression suite for the word-parallel prime engine:
+// prime_engine::compute_primes against the retained hash-map oracle
+// (reference_compute_primes) over random functions at 4-12 variables —
+// covering both the level-merge path and the sharp (dense ON∪DC) path —
+// plus a regression pinning the canonical prime order and incidence
+// bitmatrix correctness against brute-force Cube::contains.
+
+#include "logic/prime_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "logic/qm.hpp"
+#include "logic/qm_reference.hpp"
+#include "testutil.hpp"
+
+namespace seance::logic {
+namespace {
+
+using testutil::random_function;
+
+struct DiffCase {
+  int num_vars;
+  double p_on;
+  double p_dc;
+  std::uint64_t seed;
+};
+
+void PrintTo(const DiffCase& c, std::ostream* os) {
+  *os << c.num_vars << "v on=" << c.p_on << " dc=" << c.p_dc
+      << " seed=" << c.seed;
+}
+
+class PrimeEngineDiff : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(PrimeEngineDiff, MatchesReferencePrimesExactly) {
+  const auto& p = GetParam();
+  const auto f = random_function(p.num_vars, p.p_on, p.p_dc, p.seed);
+
+  const std::vector<Cube> engine =
+      prime_engine::compute_primes(p.num_vars, f.on, f.dc);
+  const std::vector<Cube> reference =
+      reference_compute_primes(p.num_vars, f.on, f.dc);
+
+  ASSERT_EQ(engine.size(), reference.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    EXPECT_EQ(engine[i].key(), reference[i].key()) << "at index " << i;
+  }
+}
+
+TEST_P(PrimeEngineDiff, IncidenceMatchesBruteForceContains) {
+  const auto& p = GetParam();
+  const auto f = random_function(p.num_vars, p.p_on, p.p_dc, p.seed);
+
+  const prime_engine::PrimeIncidence pi =
+      prime_engine::compute_incidence(p.num_vars, f.on, f.dc);
+  ASSERT_EQ(pi.incidence.num_rows(), f.on.size());
+  ASSERT_EQ(pi.incidence.num_cols(), pi.primes.size());
+  for (std::size_t c = 0; c < pi.primes.size(); ++c) {
+    bool covers_some = false;
+    for (std::size_t r = 0; r < f.on.size(); ++r) {
+      const bool expected = pi.primes[c].contains(f.on[r]);
+      EXPECT_EQ(pi.incidence.covers(c, r), expected)
+          << "prime " << c << " minterm " << f.on[r];
+      covers_some = covers_some || expected;
+    }
+    // The incidence path keeps exactly the ON-covering primes.
+    EXPECT_TRUE(covers_some) << "DC-only prime " << c << " not filtered";
+  }
+}
+
+TEST_P(PrimeEngineDiff, OnPrimesMatchIncidencePrimes) {
+  // The table-free all-primes filter (used by fsv covers) must keep
+  // exactly the primes the incidence path keeps, in the same order.
+  const auto& p = GetParam();
+  const auto f = random_function(p.num_vars, p.p_on, p.p_dc, p.seed);
+  const std::vector<Cube> on_primes =
+      prime_engine::compute_on_primes(p.num_vars, f.on, f.dc);
+  const prime_engine::PrimeIncidence pi =
+      prime_engine::compute_incidence(p.num_vars, f.on, f.dc);
+  ASSERT_EQ(on_primes.size(), pi.primes.size());
+  for (std::size_t i = 0; i < on_primes.size(); ++i) {
+    EXPECT_EQ(on_primes[i].key(), pi.primes[i].key()) << "at index " << i;
+  }
+}
+
+std::vector<DiffCase> diff_cases() {
+  std::vector<DiffCase> cases;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    // Sparse / balanced shapes: the word-parallel level merge.
+    cases.push_back({4, 0.35, 0.15, seed});
+    cases.push_back({6, 0.3, 0.2, seed * 5});
+    cases.push_back({8, 0.25, 0.2, seed * 7});
+    cases.push_back({10, 0.15, 0.2, seed * 11});
+    // Dense ON∪DC shapes (small OFF-set): the sharp path.  This is the
+    // Y/fsv-equation regime — deep machines specify almost nothing.
+    cases.push_back({6, 0.1, 0.85, seed * 13});
+    cases.push_back({8, 0.05, 0.92, seed * 17});
+    cases.push_back({10, 0.03, 0.93, seed * 19});
+  }
+  // A couple of heavier charts at the top of the tested range (the
+  // reference oracle needs real time per call past 12 variables).
+  cases.push_back({12, 0.3, 0.2, 97});
+  cases.push_back({12, 0.02, 0.95, 98});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFunctions, PrimeEngineDiff,
+                         ::testing::ValuesIn(diff_cases()));
+
+// The canonical prime order (fewest literals first, then Cube::key) is a
+// documented contract: downstream cover selection, the golden corpus,
+// and the all-primes fsv equations all depend on it.  Pinned on the
+// classic McCluskey example and a don't-care variant.
+TEST(PrimeEngineRegression, CanonicalOrderIsPinned) {
+  const std::vector<Minterm> on{4, 8, 9, 10, 11, 12, 14, 15};
+  const std::vector<Cube> primes = prime_engine::compute_primes(4, on, {});
+  const std::vector<std::string> expected{"0--1", "-1-1", "--01", "001-"};
+  ASSERT_EQ(primes.size(), expected.size());
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(primes[i].to_string(), expected[i]);
+  }
+}
+
+TEST(PrimeEngineRegression, CanonicalOrderWithDontCaresIsPinned) {
+  const std::vector<Minterm> on{0, 1, 2, 5, 6, 7};
+  const std::vector<Minterm> dc{3};
+  const std::vector<Cube> primes = prime_engine::compute_primes(3, on, dc);
+  const std::vector<std::string> expected{"1--", "-1-", "--0"};
+  ASSERT_EQ(primes.size(), expected.size());
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_EQ(primes[i].to_string(), expected[i]);
+  }
+}
+
+TEST(PrimeEngineRegression, EveryEmittedCubeIsAPrimeImplicant) {
+  for (std::uint64_t seed : {3u, 21u, 77u}) {
+    const auto f = random_function(7, 0.3, 0.25, seed);
+    for (const Cube& c : prime_engine::compute_primes(7, f.on, f.dc)) {
+      EXPECT_TRUE(is_prime_implicant(c, 7, f.on, f.dc)) << c.to_string();
+    }
+  }
+}
+
+TEST(PrimeEngineEdge, EmptyFunctionHasNoPrimes) {
+  EXPECT_TRUE(prime_engine::compute_primes(5, {}, {}).empty());
+  const prime_engine::PrimeIncidence pi =
+      prime_engine::compute_incidence(5, {}, {});
+  EXPECT_TRUE(pi.primes.empty());
+  EXPECT_EQ(pi.incidence.num_rows(), 0u);
+  EXPECT_EQ(pi.incidence.num_cols(), 0u);
+}
+
+TEST(PrimeEngineEdge, DcOnlyFunctionKeepsPrimesButEmptyIncidence) {
+  const std::vector<Minterm> dc{1, 3, 5, 7};
+  EXPECT_FALSE(prime_engine::compute_primes(3, {}, dc).empty());
+  const prime_engine::PrimeIncidence pi =
+      prime_engine::compute_incidence(3, {}, dc);
+  EXPECT_TRUE(pi.primes.empty());  // nothing covers an ON minterm
+  EXPECT_EQ(pi.incidence.num_rows(), 0u);
+}
+
+TEST(PrimeEngineEdge, FullSpaceCollapsesToUniversalCube) {
+  // ON = the whole space: the single prime is the universal cube (sharp
+  // path with an empty OFF list).
+  std::vector<Minterm> on;
+  for (Minterm m = 0; m < 16; ++m) on.push_back(m);
+  const std::vector<Cube> primes = prime_engine::compute_primes(4, on, {});
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].literal_count(), 0);
+  const prime_engine::PrimeIncidence pi =
+      prime_engine::compute_incidence(4, on, {});
+  ASSERT_EQ(pi.primes.size(), 1u);
+  for (std::size_t r = 0; r < on.size(); ++r) {
+    EXPECT_TRUE(pi.incidence.covers(0, r));
+  }
+}
+
+TEST(PrimeEngineEdge, ZeroVariableFunction) {
+  const std::vector<Minterm> on{0};
+  const std::vector<Cube> primes = prime_engine::compute_primes(0, on, {});
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].literal_count(), 0);
+}
+
+TEST(PrimeEngineEdge, DuplicatedAndUnsortedInputIsTolerated) {
+  const std::vector<Minterm> on{9, 4, 9, 15, 4, 8, 10, 11, 12, 14, 15, 8};
+  const std::vector<Cube> a = prime_engine::compute_primes(4, on, {});
+  const std::vector<Minterm> clean{4, 8, 9, 10, 11, 12, 14, 15};
+  const std::vector<Cube> b = prime_engine::compute_primes(4, clean, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key(), b[i].key());
+  }
+}
+
+}  // namespace
+}  // namespace seance::logic

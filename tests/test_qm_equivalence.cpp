@@ -121,6 +121,24 @@ TEST(QmEquivalenceCorpus, HardShapeJobsSynthesizeAndVerify) {
   }
 }
 
+// The harder 12-state / 5-input shape opened by the word-parallel prime
+// engine (its Y/fsv equations reach 12-15 variables with >90% DC, the
+// sharp path's regime).  Every machine must synthesize and verify.
+TEST(QmEquivalenceCorpus, HarderShapeJobsSynthesizeAndVerify) {
+  driver::BatchOptions options;
+  options.threads = 2;
+  driver::BatchRunner runner(options);
+  runner.add_harder_generated(8, /*base_seed=*/1);
+  ASSERT_EQ(runner.job_count(), 8);
+  const driver::BatchReport report = runner.run();
+  for (const auto& job : report.jobs) {
+    EXPECT_EQ(job.status, driver::JobStatus::kOk) << job.name << ": " << job.detail;
+    EXPECT_TRUE(job.equations_verified) << job.name;
+    EXPECT_EQ(job.num_inputs, 5) << job.name;
+    EXPECT_EQ(job.input_states, 12) << job.name;
+  }
+}
+
 TEST(QmEquivalenceCorpus, HardShapeCoversAreIrredundantAndExact) {
   // Drive select_cover directly at the hard shape's equation arity with
   // ON/DC densities in the range the Y equations produce.

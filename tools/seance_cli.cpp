@@ -17,6 +17,8 @@
 //   --random N         generated tables (default 100)
 //   --hard N           extra generated tables at the hard canonical shape
 //                      (8 states / 4 inputs, driver::kHardShape; default 0)
+//   --harder N         extra generated tables at the harder canonical shape
+//                      (12 states / 5 inputs, driver::kHarderShape; default 0)
 //   --states/--inputs/--outputs N   generator shape (default 6/3/2)
 //   --density D        generator transition density (default 0.5)
 //   --mic-bias B       generator MIC bias (default 0.7)
@@ -80,7 +82,8 @@ void usage() {
       "usage: seance <table.kiss2 | benchmark-name> [--report] [--verilog F]\n"
       "              [--kiss F] [--verify] [--walk N] [--baseline]\n"
       "              [--no-minimize] [--flat] [--quiet]\n"
-      "       seance batch [--jobs N] [--random N] [--hard N] [--states N] [--inputs N]\n"
+      "       seance batch [--jobs N] [--random N] [--hard N] [--harder N]\n"
+      "              [--states N] [--inputs N]\n"
       "              [--outputs N] [--density D] [--mic-bias B] [--seed S]\n"
       "              [--no-suite] [--extra] [--kiss-file F] [--no-ternary]\n"
       "              [--strict-ternary] [--no-verify] [--timeout MS]\n"
@@ -106,6 +109,7 @@ struct CorpusFlags {
   seance::bench_suite::GeneratorOptions gen;
   int random_count = 100;
   int hard_count = 0;
+  int harder_count = 0;
   bool suite = true;
   bool extra = false;
   bool quiet = false;
@@ -158,6 +162,8 @@ bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
       next_int(flags.random_count);
     } else if (arg == "--hard") {
       next_int(flags.hard_count);
+    } else if (arg == "--harder") {
+      next_int(flags.harder_count);
     } else if (arg == "--states") {
       next_int(flags.gen.num_states);
     } else if (arg == "--inputs") {
@@ -229,6 +235,9 @@ bool build_corpus(seance::driver::BatchRunner& runner, const CorpusFlags& flags)
     if (flags.hard_count > 0) {
       runner.add_hard_generated(flags.hard_count, flags.gen.seed);
     }
+    if (flags.harder_count > 0) {
+      runner.add_harder_generated(flags.harder_count, flags.gen.seed);
+    }
   } catch (const std::exception& e) {
     std::printf("corpus error: %s\n", e.what());
     return false;
@@ -256,6 +265,9 @@ seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
   for (const auto& path : flags.kiss_files) append("kiss:" + path);
   if (flags.random_count > 0) append("gen" + std::to_string(flags.random_count));
   if (flags.hard_count > 0) append("hard" + std::to_string(flags.hard_count));
+  if (flags.harder_count > 0) {
+    append("harder" + std::to_string(flags.harder_count));
+  }
   identity.corpus = corpus;
   return identity;
 }
