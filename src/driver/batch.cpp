@@ -55,6 +55,7 @@ const char* to_string(JobStatus status) {
     case JobStatus::kVerifyFailed: return "verify-failed";
     case JobStatus::kHazardUnclean: return "hazard-unclean";
     case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCrashed: return "crashed";
   }
   return "unknown";
 }
@@ -62,7 +63,7 @@ const char* to_string(JobStatus status) {
 std::optional<JobStatus> status_from_string(std::string_view s) {
   for (const JobStatus status :
        {JobStatus::kOk, JobStatus::kSynthesisError, JobStatus::kVerifyFailed,
-        JobStatus::kHazardUnclean, JobStatus::kTimeout}) {
+        JobStatus::kHazardUnclean, JobStatus::kTimeout, JobStatus::kCrashed}) {
     if (s == to_string(status)) return status;
   }
   return std::nullopt;
@@ -145,6 +146,29 @@ std::string BatchReport::summary(bool per_job) const {
                 static_cast<int>(jobs.size()), ok_count(), failed_count(),
                 threads_used, wall_ms);
   out += line;
+  if (shards_used > 0) {
+    std::snprintf(line, sizeof(line),
+                  "shards: %d workers, slowest %.1f ms\n", shards_used,
+                  max_shard_wall_ms);
+    out += line;
+  }
+  return out;
+}
+
+std::string to_csv_row(const JobResult& j) {
+  // The name goes through std::string so arbitrarily long paths never
+  // truncate the row; only the bounded numeric tail uses the buffer.
+  char metrics[256];
+  std::snprintf(metrics, sizeof(metrics),
+                ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+                to_string(j.status), j.num_inputs, j.num_outputs,
+                j.input_states, j.synthesized_states, j.state_vars,
+                j.fl_hazards, j.var_hazards, j.depth.fsv_depth,
+                j.depth.y_depth, j.depth.total_depth, j.gate_count,
+                j.equations_verified ? 1 : 0, j.ternary_transitions,
+                j.ternary_a_violations, j.ternary_b_violations);
+  std::string out = csv_escape(j.name);
+  out += metrics;
   return out;
 }
 
@@ -152,20 +176,8 @@ std::string BatchReport::to_csv(bool with_wall_ms) const {
   std::string out{kCsvHeader};
   if (with_wall_ms) out += ",wall_ms";
   out += '\n';
-  char metrics[256];
   for (const auto& j : jobs) {
-    // The name goes through std::string so arbitrarily long paths never
-    // truncate the row; only the bounded numeric tail uses the buffer.
-    std::snprintf(metrics, sizeof(metrics),
-                  ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
-                  to_string(j.status), j.num_inputs, j.num_outputs,
-                  j.input_states, j.synthesized_states, j.state_vars,
-                  j.fl_hazards, j.var_hazards, j.depth.fsv_depth,
-                  j.depth.y_depth, j.depth.total_depth, j.gate_count,
-                  j.equations_verified ? 1 : 0, j.ternary_transitions,
-                  j.ternary_a_violations, j.ternary_b_violations);
-    out += csv_escape(j.name);
-    out += metrics;
+    out += to_csv_row(j);
     if (with_wall_ms) {
       out += ',';
       out += format_fixed(j.wall_ms, 3);

@@ -39,6 +39,9 @@ enum class JobStatus : std::uint8_t {
                     ///< recorded as metrics by default)
   kTimeout,         ///< exceeded BatchOptions::job_timeout_ms; the worker
                     ///< is abandoned so the rest of the batch proceeds
+  kCrashed,         ///< the job's shard worker process died before
+                    ///< reporting it (sharded runs only — recorded by the
+                    ///< orchestrator, never by an in-process BatchRunner)
 };
 
 [[nodiscard]] const char* to_string(JobStatus status);
@@ -125,10 +128,24 @@ struct JobResult {
   [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
 };
 
+/// One kCsvHeader-shaped CSV record for `result` (RFC-4180 name quoting,
+/// no wall_ms column, no trailing newline) — the exact bytes
+/// BatchReport::to_csv emits for that job.  Exposed so shard workers can
+/// stream rows to their store file as jobs finish: a worker killed
+/// mid-slice then loses only the unflushed jobs, not the whole slice.
+[[nodiscard]] std::string to_csv_row(const JobResult& result);
+
 struct BatchReport {
   std::vector<JobResult> jobs;  ///< submission order, one per job
   int threads_used = 0;
   double wall_ms = 0.0;  ///< end-to-end batch wall time
+  /// Sharded runs only (filled by the orchestrator after store::merge):
+  /// worker-process count and the slowest worker's wall clock.  Zero for
+  /// in-process runs; summary() adds a shard line when set.  Like
+  /// threads_used, never persisted — wall clocks are not a pure function
+  /// of the corpus.
+  int shards_used = 0;
+  double max_shard_wall_ms = 0.0;
 
   [[nodiscard]] int ok_count() const;
   [[nodiscard]] int failed_count() const;

@@ -1,0 +1,62 @@
+// Deterministic corpus sharding.
+//
+// Scaling the batch driver past one process means splitting a corpus of
+// JobSpecs into K slices, running each slice in its own worker process
+// (crash isolation: a rogue job kills only its shard), and stitching the
+// per-shard reports back together (store::merge).  The split itself must
+// be a pure function of (job count, K) — the orchestrator and every
+// re-exec'd worker compute the plan independently and must agree on it,
+// and `--resume` must map a stale shard file back to the same slice.
+//
+// Two strategies:
+//   * round_robin — job i lands in slice i % K.  The default and the
+//     worker-protocol contract: it needs no per-job information, so a
+//     worker can recover its slice from the corpus recipe alone.
+//   * cost_weighted — greedy LPT over caller-supplied cost estimates,
+//     for embedders whose corpora mix wildly uneven shapes.  Slices
+//     keep submission order internally, so per-slice runs stay
+//     deterministic.
+//
+// Either way the merge reassembles jobs by name into the original
+// submission order, so the choice of plan never changes the merged
+// report's bytes — only the per-worker wall clocks.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "driver/batch.hpp"
+
+namespace seance::driver {
+
+struct ShardPlan {
+  int num_shards = 1;
+  /// slices[s] holds the corpus indices of shard s, ascending (i.e. in
+  /// submission order).  Every index in [0, job_count) appears in
+  /// exactly one slice; slices may be empty when K exceeds the corpus.
+  std::vector<std::vector<int>> slices;
+
+  /// Total jobs across all slices.
+  [[nodiscard]] int job_count() const;
+  /// The shard owning corpus index `job`; -1 when out of range.
+  [[nodiscard]] int shard_of(int job) const;
+
+  /// Job i -> slice i % K.  Throws std::invalid_argument for
+  /// num_shards < 1 or job_count < 0.
+  [[nodiscard]] static ShardPlan round_robin(int job_count, int num_shards);
+
+  /// Greedy longest-processing-time split: jobs are assigned in
+  /// decreasing cost order (ties broken by lower index) to the least
+  /// loaded slice (ties broken by lower shard id), then each slice is
+  /// sorted back into submission order.  Deterministic for equal input.
+  [[nodiscard]] static ShardPlan cost_weighted(std::span<const double> costs,
+                                               int num_shards);
+};
+
+/// A coarse per-job cost estimate for cost_weighted plans: the flow
+/// chart area (states × input columns) that every pipeline stage walks.
+/// Integer-derived, so identical across platforms.
+[[nodiscard]] double estimate_cost(const JobSpec& spec);
+
+}  // namespace seance::driver

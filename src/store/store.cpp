@@ -181,11 +181,14 @@ std::string serialize(const StoredReport& stored) {
   out += "# checks: " + stored.identity.checks + "\n";
   out += "# synthesis: " + stored.identity.synthesis + "\n";
   out += "# generator: " + stored.identity.generator + "\n";
+  if (!stored.identity.shard.empty()) {
+    out += "# shard: " + stored.identity.shard + "\n";
+  }
   out += stored.report.to_csv();
   return out;
 }
 
-StoredReport parse(const std::string& text) {
+StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
   const std::vector<std::string> lines = split_lines(text);
   if (lines.empty() || lines[0].rfind(kMagic, 0) != 0) {
     fail(0, std::string("expected '") + kMagic + "N' magic line");
@@ -218,6 +221,8 @@ StoredReport parse(const std::string& text) {
       stored.identity.synthesis = value;
     } else if (key == "generator") {
       stored.identity.generator = value;
+    } else if (key == "shard") {
+      stored.identity.shard = value;
     }
     // Unknown keys are skipped: minor-version additions stay readable.
   }
@@ -228,33 +233,43 @@ StoredReport parse(const std::string& text) {
   }
   ++i;
 
+  // A complete writer always ends the file with '\n' (every CSV row does);
+  // a crashed shard worker can leave a torn final fragment behind.
+  const bool newline_terminated = !text.empty() && text.back() == '\n';
   for (; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;
-    const std::vector<std::string> f = split_csv_row(lines[i], i);
-    if (f.size() != 17) {
-      fail(i, "expected 17 fields, got " + std::to_string(f.size()));
+    const bool last_line = i + 1 == lines.size();
+    if (tolerate_partial_tail && last_line && !newline_terminated) break;
+    try {
+      const std::vector<std::string> f = split_csv_row(lines[i], i);
+      if (f.size() != 17) {
+        fail(i, "expected 17 fields, got " + std::to_string(f.size()));
+      }
+      driver::JobResult r;
+      r.name = f[0];
+      const auto status = driver::status_from_string(f[1]);
+      if (!status) fail(i, "unknown status '" + f[1] + "'");
+      r.status = *status;
+      r.num_inputs = parse_int(f[2], i);
+      r.num_outputs = parse_int(f[3], i);
+      r.input_states = parse_int(f[4], i);
+      r.synthesized_states = parse_int(f[5], i);
+      r.state_vars = parse_int(f[6], i);
+      r.fl_hazards = parse_int(f[7], i);
+      r.var_hazards = parse_int(f[8], i);
+      r.depth.fsv_depth = parse_int(f[9], i);
+      r.depth.y_depth = parse_int(f[10], i);
+      r.depth.total_depth = parse_int(f[11], i);
+      r.gate_count = parse_int(f[12], i);
+      r.equations_verified = parse_int(f[13], i) != 0;
+      r.ternary_transitions = parse_int(f[14], i);
+      r.ternary_a_violations = parse_int(f[15], i);
+      r.ternary_b_violations = parse_int(f[16], i);
+      stored.report.jobs.push_back(std::move(r));
+    } catch (const std::runtime_error&) {
+      if (tolerate_partial_tail && last_line) break;
+      throw;
     }
-    driver::JobResult r;
-    r.name = f[0];
-    const auto status = driver::status_from_string(f[1]);
-    if (!status) fail(i, "unknown status '" + f[1] + "'");
-    r.status = *status;
-    r.num_inputs = parse_int(f[2], i);
-    r.num_outputs = parse_int(f[3], i);
-    r.input_states = parse_int(f[4], i);
-    r.synthesized_states = parse_int(f[5], i);
-    r.state_vars = parse_int(f[6], i);
-    r.fl_hazards = parse_int(f[7], i);
-    r.var_hazards = parse_int(f[8], i);
-    r.depth.fsv_depth = parse_int(f[9], i);
-    r.depth.y_depth = parse_int(f[10], i);
-    r.depth.total_depth = parse_int(f[11], i);
-    r.gate_count = parse_int(f[12], i);
-    r.equations_verified = parse_int(f[13], i) != 0;
-    r.ternary_transitions = parse_int(f[14], i);
-    r.ternary_a_violations = parse_int(f[15], i);
-    r.ternary_b_violations = parse_int(f[16], i);
-    stored.report.jobs.push_back(std::move(r));
   }
   return stored;
 }
@@ -267,12 +282,94 @@ void save(const std::string& path, const StoredReport& stored) {
   if (!out) throw std::runtime_error("store: write failed for " + path);
 }
 
-StoredReport load(const std::string& path) {
+StoredReport load(const std::string& path, bool tolerate_partial_tail) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("store: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  return parse(buffer.str(), tolerate_partial_tail);
+}
+
+std::vector<std::string> identity_mismatches(const CorpusIdentity& baseline,
+                                             const CorpusIdentity& current,
+                                             bool ignore_shard) {
+  std::vector<std::string> out;
+  const auto check = [&](const char* what, const std::string& b,
+                         const std::string& c) {
+    if (b != c) {
+      out.push_back(std::string(what) + " '" + b + "' vs '" + c + "'");
+    }
+  };
+  check("schema", std::to_string(baseline.schema_version),
+        std::to_string(current.schema_version));
+  check("corpus", baseline.corpus, current.corpus);
+  check("seed", std::to_string(baseline.base_seed),
+        std::to_string(current.base_seed));
+  check("checks", baseline.checks, current.checks);
+  check("synthesis", baseline.synthesis, current.synthesis);
+  check("generator", baseline.generator, current.generator);
+  if (!ignore_shard) check("shard", baseline.shard, current.shard);
+  return out;
+}
+
+StoredReport merge(const CorpusIdentity& identity,
+                   const std::vector<StoredReport>& shards,
+                   const std::vector<std::string>& job_order) {
+  const auto reject = [](const std::string& why) -> void {
+    throw std::runtime_error("store: merge: " + why);
+  };
+
+  std::unordered_map<std::string, std::size_t> order_ix;
+  order_ix.reserve(job_order.size());
+  for (std::size_t i = 0; i < job_order.size(); ++i) {
+    if (!order_ix.emplace(job_order[i], i).second) {
+      reject("duplicate job name '" + job_order[i] +
+             "' in the corpus — sharded runs pair rows by name");
+    }
+  }
+
+  std::unordered_map<std::string, const driver::JobResult*> by_name;
+  by_name.reserve(job_order.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const CorpusIdentity& got = shards[s].identity;
+    const std::string tag =
+        "shard " + (got.shard.empty() ? std::to_string(s) : got.shard);
+    const std::vector<std::string> mismatches =
+        identity_mismatches(identity, got, /*ignore_shard=*/true);
+    if (!mismatches.empty()) {
+      reject(tag + ": identity mismatch: " + mismatches.front());
+    }
+
+    for (const driver::JobResult& job : shards[s].report.jobs) {
+      if (order_ix.find(job.name) == order_ix.end()) {
+        reject(tag + ": job '" + job.name + "' is not in the corpus");
+      }
+      if (!by_name.emplace(job.name, &job).second) {
+        reject("job '" + job.name + "' reported by more than one shard");
+      }
+    }
+  }
+
+  StoredReport out;
+  out.identity = identity;
+  out.identity.shard.clear();
+  out.report.jobs.reserve(job_order.size());
+  for (const std::string& name : job_order) {
+    const auto it = by_name.find(name);
+    if (it != by_name.end()) {
+      out.report.jobs.push_back(*it->second);
+      continue;
+    }
+    // No shard reported this job: its worker died before reaching it (or
+    // before its row hit the disk).  A placeholder row keeps the merged
+    // report complete so the loss is visible per job, not per run.
+    driver::JobResult crashed;
+    crashed.name = name;
+    crashed.status = driver::JobStatus::kCrashed;
+    crashed.detail = "missing from every shard report (worker crash?)";
+    out.report.jobs.push_back(std::move(crashed));
+  }
+  return out;
 }
 
 const char* to_string(DeltaKind kind) {
@@ -289,19 +386,10 @@ DiffReport diff(const StoredReport& baseline, const StoredReport& current,
                 const DiffOptions& options) {
   DiffReport out;
 
-  const auto check = [&](const char* what, const std::string& b,
-                         const std::string& c) {
-    if (b != c) {
-      out.warnings.push_back(std::string("identity mismatch: ") + what +
-                             " '" + b + "' vs '" + c + "'");
-    }
-  };
-  check("corpus", baseline.identity.corpus, current.identity.corpus);
-  check("seed", std::to_string(baseline.identity.base_seed),
-        std::to_string(current.identity.base_seed));
-  check("checks", baseline.identity.checks, current.identity.checks);
-  check("synthesis", baseline.identity.synthesis, current.identity.synthesis);
-  check("generator", baseline.identity.generator, current.identity.generator);
+  for (const std::string& mismatch :
+       identity_mismatches(baseline.identity, current.identity)) {
+    out.warnings.push_back("identity mismatch: " + mismatch);
+  }
 
   // Pair jobs by name; duplicate names (two KISS jobs with the same path)
   // pair positionally — the k-th baseline occurrence against the k-th

@@ -53,6 +53,11 @@ struct CorpusIdentity {
   std::string checks;     ///< describe(BatchOptions)
   std::string synthesis;  ///< describe(SynthesisOptions)
   std::string generator;  ///< describe(GeneratorOptions)
+  /// "i/K" when this report covers slice i of a K-way sharded run
+  /// (driver::ShardPlan::round_robin order); empty for a whole-corpus
+  /// report.  Serialized only when non-empty, so unsharded files —
+  /// including every existing golden — keep their exact bytes.
+  std::string shard;
 };
 
 struct StoredReport {
@@ -64,11 +69,41 @@ struct StoredReport {
 [[nodiscard]] std::string serialize(const StoredReport& stored);
 /// Inverse of serialize; throws std::runtime_error naming the offending
 /// line on malformed input or a schema-version mismatch.
-[[nodiscard]] StoredReport parse(const std::string& text);
+/// `tolerate_partial_tail` accepts the torn file a crashed shard worker
+/// leaves behind (rows are appended and flushed per job): a final row
+/// that is malformed or not newline-terminated is dropped instead of
+/// failing the parse.  Interior corruption still throws either way.
+[[nodiscard]] StoredReport parse(const std::string& text,
+                                 bool tolerate_partial_tail = false);
 
 /// File wrappers; throw std::runtime_error on I/O failure.
 void save(const std::string& path, const StoredReport& stored);
-[[nodiscard]] StoredReport load(const std::string& path);
+[[nodiscard]] StoredReport load(const std::string& path,
+                                bool tolerate_partial_tail = false);
+
+/// Field-by-field identity comparison, one "<field> 'a' vs 'b'" line per
+/// mismatch (schema, corpus, seed, checks, synthesis, generator, and —
+/// unless `ignore_shard` — the shard tag).  The single source of truth
+/// for "same pipeline configuration": diff() warnings, merge()
+/// rejection, and the CLI's --resume validation all route through it, so
+/// a future identity field cannot be missed in one of the three.
+[[nodiscard]] std::vector<std::string> identity_mismatches(
+    const CorpusIdentity& baseline, const CorpusIdentity& current,
+    bool ignore_shard = false);
+
+/// Stitches per-shard reports (possibly partial, possibly fewer than the
+/// plan's K) back into one whole-corpus report.  `identity` is the
+/// expected whole-corpus identity: every shard must match it on corpus,
+/// seed, checks, synthesis, and generator (the shard tag itself is
+/// ignored), and every shard job must be named in `job_order` — the
+/// corpus submission order, which must be duplicate-free.  Violations
+/// throw std::runtime_error naming the offender.  Output jobs follow
+/// `job_order` exactly, so a merge of a complete shard set serializes
+/// byte-identically to the single-process run; jobs no shard reported
+/// (their worker died first) come back as kCrashed placeholder rows.
+[[nodiscard]] StoredReport merge(const CorpusIdentity& identity,
+                                 const std::vector<StoredReport>& shards,
+                                 const std::vector<std::string>& job_order);
 
 /// Absolute per-metric drift tolerances: |current - baseline| above the
 /// tolerance is drift.  Zero (the default) pins the metric exactly.

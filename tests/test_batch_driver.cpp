@@ -212,7 +212,7 @@ TEST(BatchRunner, EmptyBatchIsTriviallyOk) {
 TEST(JobStatus, StringRoundTripCoversEveryStatus) {
   for (const JobStatus status :
        {JobStatus::kOk, JobStatus::kSynthesisError, JobStatus::kVerifyFailed,
-        JobStatus::kHazardUnclean, JobStatus::kTimeout}) {
+        JobStatus::kHazardUnclean, JobStatus::kTimeout, JobStatus::kCrashed}) {
     const auto parsed = status_from_string(to_string(status));
     ASSERT_TRUE(parsed.has_value()) << to_string(status);
     EXPECT_EQ(*parsed, status);
@@ -272,6 +272,31 @@ TEST(BatchReport, CsvHeaderAndRowArePinnedByteForByte) {
             "gate_count,equations_verified,ternary_transitions,ternary_a,"
             "ternary_b,wall_ms\n"
             "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,12.346\n");
+  // The streaming row serializer (shard workers append rows one at a
+  // time) emits exactly the to_csv record for the job.
+  EXPECT_EQ(to_csv_row(j), "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7");
+}
+
+TEST(BatchReport, ShardedRunsAddASummaryLineAndCrashedCountsAsFailure) {
+  BatchReport report;
+  JobResult lost;
+  lost.name = "lost-job";
+  lost.status = JobStatus::kCrashed;
+  lost.detail = "shard 1/4 worker killed by signal 9";
+  report.jobs.push_back(lost);
+  report.shards_used = 4;
+  report.max_shard_wall_ms = 123.4;
+  EXPECT_EQ(report.failed_count(), 1);
+  EXPECT_FALSE(report.all_ok());
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("shards: 4 workers, slowest 123.4 ms"),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("crashed"), std::string::npos);
+  EXPECT_NE(summary.find("killed by signal 9"), std::string::npos);
+  // In-process reports keep their exact historical summary shape.
+  BatchReport plain;
+  EXPECT_EQ(plain.summary().find("shards:"), std::string::npos);
 }
 
 TEST(RunWithDeadline, SlowBodyTimesOutDeterministically) {

@@ -103,6 +103,12 @@ std::vector<DiffCase> diff_cases() {
   // reference oracle needs real time per call past 12 variables).
   cases.push_back({12, 0.3, 0.2, 97});
   cases.push_back({12, 0.02, 0.95, 98});
+  // 14-var high-DC chart: deep enough that the sharp path's antichain
+  // reaches thousands of cubes — the regime where absorption used to go
+  // quadratic (ROADMAP item; now served by the popcount-bucketed
+  // care-submask index).  Still oracle-covered: the reference generator
+  // handles it in seconds, just not in bulk.
+  cases.push_back({14, 0.01, 0.95, 99});
   return cases;
 }
 

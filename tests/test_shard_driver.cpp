@@ -1,0 +1,328 @@
+// Shard-plan and shard-protocol contract tests: deterministic splits,
+// shard-then-merge byte identity against the single-process run for many
+// shard counts, and — through the real seance_cli orchestrator/worker
+// re-exec — crash isolation (a killed worker loses only its own
+// unflushed jobs) and --resume healing.
+
+#include "driver/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_suite/generator.hpp"
+#include "driver/batch.hpp"
+#include "store/store.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#define SEANCE_SHARD_CLI_TESTS 1
+#endif
+
+namespace seance::driver {
+namespace {
+
+TEST(ShardPlan, RoundRobinPartitionsEveryJobExactlyOnce) {
+  const ShardPlan plan = ShardPlan::round_robin(10, 4);
+  EXPECT_EQ(plan.num_shards, 4);
+  ASSERT_EQ(plan.slices.size(), 4u);
+  EXPECT_EQ(plan.slices[0], (std::vector<int>{0, 4, 8}));
+  EXPECT_EQ(plan.slices[1], (std::vector<int>{1, 5, 9}));
+  EXPECT_EQ(plan.slices[2], (std::vector<int>{2, 6}));
+  EXPECT_EQ(plan.slices[3], (std::vector<int>{3, 7}));
+  EXPECT_EQ(plan.job_count(), 10);
+  for (int j = 0; j < 10; ++j) EXPECT_EQ(plan.shard_of(j), j % 4);
+  EXPECT_EQ(plan.shard_of(10), -1);
+  EXPECT_EQ(plan.shard_of(-1), -1);
+}
+
+TEST(ShardPlan, MoreShardsThanJobsLeavesEmptySlices) {
+  const ShardPlan plan = ShardPlan::round_robin(2, 5);
+  EXPECT_EQ(plan.job_count(), 2);
+  EXPECT_EQ(plan.slices[0], (std::vector<int>{0}));
+  EXPECT_EQ(plan.slices[1], (std::vector<int>{1}));
+  for (int s = 2; s < 5; ++s) {
+    EXPECT_TRUE(plan.slices[static_cast<std::size_t>(s)].empty());
+  }
+}
+
+TEST(ShardPlan, SingleShardIsTheWholeCorpus) {
+  const ShardPlan plan = ShardPlan::round_robin(4, 1);
+  ASSERT_EQ(plan.slices.size(), 1u);
+  EXPECT_EQ(plan.slices[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ShardPlan, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)ShardPlan::round_robin(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::round_robin(-1, 2), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::cost_weighted({}, 0), std::invalid_argument);
+}
+
+TEST(ShardPlan, CostWeightedCoversEveryJobAndBalancesLoad) {
+  const std::vector<double> costs{8, 1, 1, 1, 1, 1, 1, 1};
+  const ShardPlan plan = ShardPlan::cost_weighted(costs, 2);
+  // LPT: the heavy job pins shard 0; the seven unit jobs land on shard 1
+  // until its load reaches 7, then the tie goes back to the lower id.
+  std::set<int> covered;
+  for (const auto& slice : plan.slices) {
+    for (const int j : slice) EXPECT_TRUE(covered.insert(j).second);
+  }
+  EXPECT_EQ(covered.size(), costs.size());
+  double load0 = 0, load1 = 0;
+  for (const int j : plan.slices[0]) load0 += costs[static_cast<std::size_t>(j)];
+  for (const int j : plan.slices[1]) load1 += costs[static_cast<std::size_t>(j)];
+  EXPECT_LE(std::max(load0, load1), 8.0);  // never worse than the heavy job
+  // Deterministic: same input, same plan.
+  const ShardPlan again = ShardPlan::cost_weighted(costs, 2);
+  EXPECT_EQ(plan.slices, again.slices);
+  // Slices keep submission order.
+  for (const auto& slice : plan.slices) {
+    EXPECT_TRUE(std::is_sorted(slice.begin(), slice.end()));
+  }
+}
+
+TEST(ShardPlan, EstimateCostGrowsWithChartArea) {
+  bench_suite::GeneratorOptions small;
+  bench_suite::GeneratorOptions big = kHardShape;
+  const JobSpec a("a", bench_suite::generate(small));
+  const JobSpec b("b", bench_suite::generate(big));
+  EXPECT_GT(estimate_cost(b), estimate_cost(a));
+}
+
+/// The 60-job mixed corpus the shard-then-merge property runs: Table-1
+/// suite + extras + generated 6x3 + hard 8x4 shapes.
+BatchRunner mixed_corpus(const BatchOptions& options) {
+  BatchRunner runner(options);
+  runner.add_table1_suite();
+  runner.add_extra_suite();
+  bench_suite::GeneratorOptions gen;
+  gen.seed = 7;
+  runner.add_generated(44, gen);
+  runner.add_hard_generated(10, 7);
+  return runner;
+}
+
+store::CorpusIdentity mixed_identity(const BatchOptions& options) {
+  store::CorpusIdentity identity;
+  identity.base_seed = 7;
+  identity.corpus = "table1+extra+gen44+hard10";
+  identity.checks = store::describe(options);
+  identity.synthesis = store::describe(options.synthesis);
+  bench_suite::GeneratorOptions gen;
+  gen.seed = 7;
+  identity.generator = store::describe(gen);
+  return identity;
+}
+
+TEST(ShardMerge, ShardThenMergeIsByteIdenticalToSingleProcessForEveryK) {
+  BatchOptions options;
+  options.threads = 4;
+  BatchRunner full = mixed_corpus(options);
+  ASSERT_EQ(full.job_count(), 60);
+  const store::CorpusIdentity identity = mixed_identity(options);
+
+  store::StoredReport baseline;
+  baseline.identity = identity;
+  baseline.report = full.run();
+  const std::string want = store::serialize(baseline);
+
+  std::vector<std::string> names;
+  for (const auto& spec : full.jobs()) names.push_back(spec.name);
+
+  for (const int k : {1, 2, 3, 7, 16}) {
+    const ShardPlan plan = ShardPlan::round_robin(full.job_count(), k);
+    std::vector<store::StoredReport> shards;
+    for (int s = 0; s < k; ++s) {
+      BatchRunner slice(options);
+      for (const int job : plan.slices[static_cast<std::size_t>(s)]) {
+        slice.add(full.jobs()[static_cast<std::size_t>(job)]);
+      }
+      store::StoredReport shard;
+      shard.identity = identity;
+      shard.identity.shard = std::to_string(s) + "/" + std::to_string(k);
+      shard.report = slice.run();
+      shards.push_back(std::move(shard));
+    }
+    const store::StoredReport merged = store::merge(identity, shards, names);
+    // Byte identity covers everything the store persists: job order,
+    // statuses, every metric column, and the identity header.
+    EXPECT_EQ(store::serialize(merged), want) << "K=" << k;
+  }
+}
+
+TEST(ShardMerge, CostWeightedPlanMergesToTheSameBytes) {
+  // The merge reorders by name, so the plan choice must never show up in
+  // the merged report.
+  BatchOptions options;
+  options.threads = 2;
+  BatchRunner full = mixed_corpus(options);
+  const store::CorpusIdentity identity = mixed_identity(options);
+  store::StoredReport baseline;
+  baseline.identity = identity;
+  baseline.report = full.run();
+
+  std::vector<double> costs;
+  std::vector<std::string> names;
+  for (const auto& spec : full.jobs()) {
+    costs.push_back(estimate_cost(spec));
+    names.push_back(spec.name);
+  }
+  const ShardPlan plan = ShardPlan::cost_weighted(costs, 3);
+  std::vector<store::StoredReport> shards;
+  for (int s = 0; s < 3; ++s) {
+    BatchRunner slice(options);
+    for (const int job : plan.slices[static_cast<std::size_t>(s)]) {
+      slice.add(full.jobs()[static_cast<std::size_t>(job)]);
+    }
+    store::StoredReport shard;
+    shard.identity = identity;
+    shard.identity.shard = std::to_string(s) + "/3";
+    shard.report = slice.run();
+    shards.push_back(std::move(shard));
+  }
+  const store::StoredReport merged = store::merge(identity, shards, names);
+  EXPECT_EQ(store::serialize(merged), store::serialize(baseline));
+}
+
+#ifdef SEANCE_SHARD_CLI_TESTS
+
+// ---- Process-level tests through the real CLI orchestrator. ----
+
+int run_command(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  return 128 + (WIFSIGNALED(rc) ? WTERMSIG(rc) : 0);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Name -> status map from a batch --csv report.
+std::map<std::string, std::string> csv_statuses(const std::string& csv) {
+  std::map<std::string, std::string> out;
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    const std::string name = line.substr(0, comma);
+    const std::size_t next = line.find(',', comma + 1);
+    out[name] = line.substr(comma + 1, next - comma - 1);
+  }
+  return out;
+}
+
+class ShardCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_ = std::filesystem::path(testing::TempDir()) /
+            ("seance_shard_cli_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    std::filesystem::remove_all(work_);
+    std::filesystem::create_directories(work_);
+  }
+  void TearDown() override { std::filesystem::remove_all(work_); }
+
+  [[nodiscard]] std::string quoted(const std::filesystem::path& p) const {
+    return "'" + p.string() + "'";
+  }
+
+  std::filesystem::path work_;
+  // Pre-quoted: the build tree path (and thus the CLI binary) can
+  // contain spaces, and these commands go through the shell.
+  const std::string cli_ = "'" SEANCE_CLI_PATH "'";
+};
+
+TEST_F(ShardCliTest, ShardedBaselineIsByteIdenticalToUnsharded) {
+  const auto unsharded = work_ / "unsharded.store";
+  const auto sharded = work_ / "sharded.store";
+  const std::string corpus = " baseline --no-suite --random 10 --jobs 2 --quiet ";
+  ASSERT_EQ(run_command(cli_ + corpus + "--out " + quoted(unsharded) +
+                        " > /dev/null 2>&1"),
+            0);
+  ASSERT_EQ(run_command(cli_ + corpus + "--shards 3 --shard-dir " +
+                        quoted(work_ / "shards") + " --out " + quoted(sharded) +
+                        " > /dev/null 2>&1"),
+            0);
+  const std::string a = read_file(unsharded);
+  const std::string b = read_file(sharded);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ShardCliTest, CrashedWorkerLosesOnlyItsUnflushedJobsAndResumeHeals) {
+  const auto shard_dir = work_ / "shards";
+  const auto crashed_csv = work_ / "crashed.csv";
+  const auto healed_csv = work_ / "healed.csv";
+  // One worker thread each and a 12-job corpus over 3 shards: shard 0
+  // owns jobs 0,3,6,9 in that order, and the hidden hook kills it after
+  // two rows hit the disk.
+  const std::string base = cli_ +
+                           " batch --no-suite --random 12 --jobs 1 --quiet "
+                           "--shards 3 --shard-dir " +
+                           quoted(shard_dir);
+  ASSERT_EQ(run_command(base + " --shard-worker-die-after 2 --csv " +
+                        quoted(crashed_csv) + " > /dev/null 2>&1"),
+            1);
+
+  const auto statuses = csv_statuses(read_file(crashed_csv));
+  ASSERT_EQ(statuses.size(), 12u);
+  for (const auto& [name, status] : statuses) {
+    if (name == "gen-6x3-0006" || name == "gen-6x3-0009") {
+      EXPECT_EQ(status, "crashed") << name;
+    } else {
+      EXPECT_EQ(status, "ok") << name;
+    }
+  }
+
+  // Resume re-runs only shard 0: the other shard files stay byte-
+  // untouched, and the merged run comes back clean.
+  const std::string shard1_before = read_file(shard_dir / "shard-1-of-3.csv");
+  const std::string shard2_before = read_file(shard_dir / "shard-2-of-3.csv");
+  ASSERT_FALSE(shard1_before.empty());
+  ASSERT_EQ(run_command(base + " --resume --csv " + quoted(healed_csv) +
+                        " > /dev/null 2>&1"),
+            0);
+  EXPECT_EQ(read_file(shard_dir / "shard-1-of-3.csv"), shard1_before);
+  EXPECT_EQ(read_file(shard_dir / "shard-2-of-3.csv"), shard2_before);
+
+  const auto healed = csv_statuses(read_file(healed_csv));
+  ASSERT_EQ(healed.size(), 12u);
+  for (const auto& [name, status] : healed) EXPECT_EQ(status, "ok") << name;
+}
+
+TEST_F(ShardCliTest, ShardedBatchCsvMatchesUnshardedAcrossThreadCounts) {
+  const auto a = work_ / "a.csv";
+  const auto b = work_ / "b.csv";
+  ASSERT_EQ(run_command(cli_ + " batch --random 8 --jobs 1 --quiet --csv " +
+                        quoted(a) + " > /dev/null 2>&1"),
+            0);
+  ASSERT_EQ(run_command(cli_ + " batch --random 8 --jobs 4 --quiet --shards 2 "
+                        "--shard-dir " +
+                        quoted(work_ / "shards") + " --csv " + quoted(b) +
+                        " > /dev/null 2>&1"),
+            0);
+  EXPECT_EQ(read_file(a), read_file(b));
+}
+
+#endif  // SEANCE_SHARD_CLI_TESTS
+
+}  // namespace
+}  // namespace seance::driver

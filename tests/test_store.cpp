@@ -257,6 +257,182 @@ TEST(StoreParse, ToleratesUnknownMetadataAndBlankLines) {
   EXPECT_EQ(reread.report.jobs[0].name, "a");
 }
 
+TEST(Store, ShardIdentityRoundTripsAndIsOmittedWhenEmpty) {
+  StoredReport stored = make_stored({make_job("a")});
+  // Unsharded reports must keep their exact bytes: no shard line at all.
+  EXPECT_EQ(serialize(stored).find("# shard:"), std::string::npos);
+  stored.identity.shard = "2/4";
+  const std::string bytes = serialize(stored);
+  EXPECT_NE(bytes.find("# shard: 2/4\n"), std::string::npos);
+  const StoredReport reread = parse(bytes);
+  EXPECT_EQ(reread.identity.shard, "2/4");
+  EXPECT_EQ(serialize(reread), bytes);
+  // Two reports differing only in shard tag are not comparable.
+  const DiffReport d = diff(make_stored({make_job("a")}), stored);
+  ASSERT_EQ(d.warnings.size(), 1u);
+  EXPECT_NE(d.warnings[0].find("shard"), std::string::npos);
+}
+
+TEST(StoreParse, PartialTailToleranceDropsOnlyTheTornRow) {
+  const StoredReport stored =
+      make_stored({make_job("a"), make_job("b"), make_job("c")});
+  const std::string bytes = serialize(stored);
+
+  // Torn mid-row (no trailing newline): strict parse throws, lenient
+  // parse keeps every complete row.
+  const std::size_t cut = bytes.rfind(",80,");  // inside row "c"
+  const std::string torn = bytes.substr(0, cut);
+  EXPECT_THROW((void)parse(torn), std::runtime_error);
+  const StoredReport lenient = parse(torn, /*tolerate_partial_tail=*/true);
+  ASSERT_EQ(lenient.report.jobs.size(), 2u);
+  EXPECT_EQ(lenient.report.jobs[0].name, "a");
+  EXPECT_EQ(lenient.report.jobs[1].name, "b");
+
+  // A newline-terminated but short row is also dropped when it is last...
+  const std::string short_row = bytes + "gen-x,ok,1\n";
+  EXPECT_THROW((void)parse(short_row), std::runtime_error);
+  EXPECT_EQ(parse(short_row, true).report.jobs.size(), 3u);
+
+  // ...but interior corruption is corruption, tolerant or not.
+  std::string interior = bytes;
+  interior.insert(interior.find("b,ok"), "torn,row\n");
+  EXPECT_THROW((void)parse(interior, true), std::runtime_error);
+
+  // A complete file parses identically in both modes.
+  EXPECT_EQ(serialize(parse(bytes, true)), bytes);
+}
+
+StoredReport shard_of(const StoredReport& whole, const std::string& tag,
+                      std::vector<std::size_t> rows) {
+  StoredReport shard;
+  shard.identity = whole.identity;
+  shard.identity.shard = tag;
+  for (const std::size_t r : rows) {
+    shard.report.jobs.push_back(whole.report.jobs[r]);
+  }
+  return shard;
+}
+
+std::vector<std::string> names_of(const StoredReport& stored) {
+  std::vector<std::string> names;
+  for (const auto& j : stored.report.jobs) names.push_back(j.name);
+  return names;
+}
+
+TEST(StoreMerge, SingleShardAndEmptyShardMergesAreIdentity) {
+  const StoredReport whole =
+      make_stored({make_job("a"), make_job("b"), make_job("c")});
+  const std::vector<std::string> order = names_of(whole);
+
+  // The whole report as one shard: merge reproduces it byte for byte.
+  const StoredReport single =
+      merge(whole.identity, {shard_of(whole, "0/1", {0, 1, 2})}, order);
+  EXPECT_EQ(serialize(single), serialize(whole));
+
+  // An extra empty shard contributes nothing and changes nothing.
+  const StoredReport with_empty =
+      merge(whole.identity,
+            {shard_of(whole, "0/2", {0, 1, 2}), shard_of(whole, "1/2", {})},
+            order);
+  EXPECT_EQ(serialize(with_empty), serialize(whole));
+
+  // No shards at all: everything comes back as crashed placeholders.
+  const StoredReport none = merge(whole.identity, {}, order);
+  ASSERT_EQ(none.report.jobs.size(), 3u);
+  for (const auto& j : none.report.jobs) {
+    EXPECT_EQ(j.status, driver::JobStatus::kCrashed);
+  }
+}
+
+TEST(StoreMerge, InterleavedShardsComeBackInCorpusOrder) {
+  const StoredReport whole = make_stored(
+      {make_job("a"), make_job("b"), make_job("c"), make_job("d")});
+  const std::vector<std::string> order = names_of(whole);
+  const StoredReport merged =
+      merge(whole.identity,
+            {shard_of(whole, "1/2", {1, 3}), shard_of(whole, "0/2", {0, 2})},
+            order);
+  EXPECT_EQ(serialize(merged), serialize(whole));
+  EXPECT_TRUE(merged.identity.shard.empty());
+}
+
+TEST(StoreMerge, OverlappingJobNamesAreRejected) {
+  const StoredReport whole = make_stored({make_job("a"), make_job("b")});
+  const std::vector<std::string> order = names_of(whole);
+  try {
+    (void)merge(whole.identity,
+                {shard_of(whole, "0/2", {0, 1}), shard_of(whole, "1/2", {1})},
+                order);
+    FAIL() << "duplicate job across shards must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("more than one shard"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StoreMerge, MismatchedCorpusIdentityIsRejectedWithAClearError) {
+  const StoredReport whole = make_stored({make_job("a")});
+  StoredReport alien = shard_of(whole, "0/1", {0});
+  alien.identity.base_seed = 99;
+  try {
+    (void)merge(whole.identity, {alien}, names_of(whole));
+    FAIL() << "identity mismatch must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("identity mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed"), std::string::npos) << what;
+    EXPECT_NE(what.find("0/1"), std::string::npos) << what;  // which shard
+  }
+}
+
+TEST(StoreMerge, UnknownJobAndDuplicateCorpusNamesAreRejected) {
+  const StoredReport whole = make_stored({make_job("a")});
+  StoredReport rogue = shard_of(whole, "0/1", {0});
+  rogue.report.jobs[0].name = "not-in-corpus";
+  EXPECT_THROW((void)merge(whole.identity, {rogue}, names_of(whole)),
+               std::runtime_error);
+  EXPECT_THROW((void)merge(whole.identity, {}, {"a", "a"}),
+               std::runtime_error);
+}
+
+TEST(StoreMerge, MissingJobsBecomeCrashedPlaceholders) {
+  const StoredReport whole =
+      make_stored({make_job("a"), make_job("b"), make_job("c")});
+  const std::vector<std::string> order = names_of(whole);
+  // Shard 1/2 (owning "b") died without reporting: only its job crashes.
+  const StoredReport merged =
+      merge(whole.identity, {shard_of(whole, "0/2", {0, 2})}, order);
+  ASSERT_EQ(merged.report.jobs.size(), 3u);
+  EXPECT_EQ(merged.report.jobs[0].status, driver::JobStatus::kOk);
+  EXPECT_EQ(merged.report.jobs[1].status, driver::JobStatus::kCrashed);
+  EXPECT_EQ(merged.report.jobs[1].name, "b");
+  EXPECT_NE(merged.report.jobs[1].detail.find("missing"), std::string::npos);
+  EXPECT_EQ(merged.report.jobs[2].status, driver::JobStatus::kOk);
+  // Crashed placeholders survive a serialize/parse round trip.
+  const StoredReport reread = parse(serialize(merged));
+  EXPECT_EQ(reread.report.jobs[1].status, driver::JobStatus::kCrashed);
+}
+
+TEST(StoreMerge, TolerancesSurviveMergeAndDiff) {
+  const StoredReport baseline = make_stored({make_job("a"), make_job("b")});
+  StoredReport drifted = make_stored({make_job("a"), make_job("b")});
+  drifted.report.jobs[1].gate_count += 2;
+  const std::vector<std::string> order = names_of(baseline);
+  const StoredReport merged =
+      merge(drifted.identity,
+            {shard_of(drifted, "0/2", {0}), shard_of(drifted, "1/2", {1})},
+            order);
+  // The merged report diffs exactly like the in-process one: drift at
+  // zero tolerance, clean once the tolerance covers the delta.
+  const DiffReport tight = diff(baseline, merged);
+  ASSERT_EQ(tight.deltas.size(), 1u);
+  EXPECT_EQ(tight.deltas[0].kind, DeltaKind::kMetricDrift);
+  DiffOptions tol;
+  tol.gate_tolerance = 2;
+  EXPECT_TRUE(diff(baseline, merged, tol).clean());
+}
+
 TEST(StoreDescribe, PinnedSpellings) {
   // These strings are persisted in golden files; changing them is a
   // schema change and must bump kSchemaVersion.

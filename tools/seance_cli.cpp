@@ -12,6 +12,19 @@
 // diff mode compares two stored reports and exits nonzero on drift —
 // together they are the golden-corpus gate CI runs on every push.
 //
+// Sharded runs (batch and baseline, `--shards K`): the parent re-execs
+// itself as K worker processes (`--shard-worker i/K`, hidden), one per
+// round-robin slice of the corpus (driver::ShardPlan).  Each worker
+// rebuilds the corpus from the same recipe flags, runs only its slice,
+// and streams rows into a per-shard store file (`--shard-dir`), flushing
+// after every job.  The parent reaps the workers, loads each shard file
+// (tolerating the torn tail a crashed worker leaves), and store::merge
+// stitches the rows back into submission order — byte-identical to the
+// single-process report.  A worker that dies loses only the unflushed
+// jobs of its own slice: the parent records those as `crashed` with the
+// worker's exit detail, and `--resume` re-runs only the shards whose
+// store file is missing or partial.
+//
 // Corpus options (batch and baseline):
 //   --jobs N           worker threads (default: hardware concurrency)
 //   --random N         generated tables (default 100)
@@ -31,6 +44,10 @@
 //   --no-verify        skip the equation cross-check
 //   --timeout MS       per-job wall-clock budget; overruns record kTimeout
 //   --progress         stream per-job completion lines to stderr
+//   --shards K         run the corpus across K worker processes
+//   --shard-dir D      per-shard store files live here (default
+//                      .seance-shards); stable across runs so --resume works
+//   --resume           reuse complete shard files, re-run missing/partial ones
 //   --csv F            write the per-job report as CSV (batch only)
 //   --wall             include wall_ms in --csv (not byte-stable!)
 //   --out F            write the persisted regression store (baseline only)
@@ -58,17 +75,30 @@
 //
 // Exit code: 0 on success (and, with --verify, zero failures), 1 otherwise.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <unordered_set>
 
+#include <cerrno>
 #include <cstdlib>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define SEANCE_HAS_SHARD_EXEC 1
+#endif
 
 #include "bench_suite/benchmarks.hpp"
 #include "core/synthesize.hpp"
 #include "driver/batch.hpp"
+#include "driver/shard.hpp"
 #include "flowtable/kiss.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/harness.hpp"
@@ -87,7 +117,8 @@ void usage() {
       "              [--outputs N] [--density D] [--mic-bias B] [--seed S]\n"
       "              [--no-suite] [--extra] [--kiss-file F] [--no-ternary]\n"
       "              [--strict-ternary] [--no-verify] [--timeout MS]\n"
-      "              [--progress] [--csv F] [--wall] [--baseline]\n"
+      "              [--progress] [--shards K] [--shard-dir D] [--resume]\n"
+      "              [--csv F] [--wall] [--baseline]\n"
       "              [--no-minimize] [--flat] [--quiet]\n"
       "       seance baseline [corpus options as for batch] --out F\n"
       "       seance diff BASELINE CURRENT [--csv F] [--tol-fl N] [--tol-var N]\n"
@@ -118,6 +149,19 @@ struct CorpusFlags {
   std::string csv_path;  ///< batch: raw CSV report
   std::string out_path;  ///< baseline: persisted regression store
   std::vector<std::string> kiss_files;
+
+  // Sharded execution (batch and baseline).
+  int shards = 0;  ///< worker-process count; 0 = in-process run
+  std::string shard_dir = ".seance-shards";  ///< per-shard store files
+  bool resume = false;  ///< reuse complete shard files, re-run the rest
+  // Worker-protocol flags, set by the orchestrator when it re-execs
+  // itself (hidden from usage()).
+  int shard_worker = -1;  ///< this process runs slice shard_worker...
+  int shard_total = 0;    ///< ...of a shard_total-way ShardPlan
+  std::string shard_out;  ///< where the worker streams its store
+  /// Hidden crash-test hook: abort() once more than this many slice jobs
+  /// have been recorded (so exactly N rows reach the disk).  -1 = off.
+  long die_after = -1;
 };
 
 /// Parses argv[2..] into `flags`; `baseline_mode` additionally accepts
@@ -158,6 +202,12 @@ bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
     };
     if (arg == "--jobs") {
       next_int(flags.options.threads);
+    } else if (arg == "--shards") {
+      next_int(flags.shards);
+      if (!parse_error && flags.shards < 0) {
+        std::printf("option --shards needs a non-negative count\n");
+        parse_error = true;
+      }
     } else if (arg == "--random") {
       next_int(flags.random_count);
     } else if (arg == "--hard") {
@@ -193,6 +243,31 @@ bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
       next_double(flags.options.job_timeout_ms);
     } else if (arg == "--progress") {
       flags.progress = true;
+    } else if (arg == "--shard-dir") {
+      if (const char* v = next_value()) flags.shard_dir = v;
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--shard-worker") {
+      // Hidden worker-protocol flag, value "i/K" (set by the orchestrator).
+      if (const char* v = next_value()) {
+        char* end = nullptr;
+        const long index = std::strtol(v, &end, 10);
+        char* end2 = nullptr;
+        const long total =
+            *end == '/' ? std::strtol(end + 1, &end2, 10) : 0;
+        if (end == v || *end != '/' || end2 == end + 1 || *end2 != '\0' ||
+            index < 0 || total < 1 || index >= total) {
+          std::printf("option --shard-worker needs i/K, got '%s'\n", v);
+          parse_error = true;
+        } else {
+          flags.shard_worker = static_cast<int>(index);
+          flags.shard_total = static_cast<int>(total);
+        }
+      }
+    } else if (arg == "--shard-out") {
+      if (const char* v = next_value()) flags.shard_out = v;
+    } else if (arg == "--shard-worker-die-after") {
+      next_int(flags.die_after);
     } else if (arg == "--csv" && !baseline_mode) {
       if (const char* v = next_value()) flags.csv_path = v;
     } else if (arg == "--wall" && !baseline_mode) {
@@ -212,6 +287,13 @@ bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
                   arg.c_str());
       parse_error = true;
     }
+  }
+  if (!parse_error && flags.resume && flags.shards <= 0 &&
+      flags.shard_worker < 0) {
+    // A forgotten --shards must not silently downgrade a resume into a
+    // full in-process re-run that ignores the healthy shard files.
+    std::printf("--resume requires --shards K\n");
+    parse_error = true;
   }
   if (flags.progress) {
     flags.options.on_result = [](const seance::driver::JobResult& r,
@@ -249,6 +331,28 @@ bool build_corpus(seance::driver::BatchRunner& runner, const CorpusFlags& flags)
   return true;
 }
 
+/// FNV-1a over a file's bytes, spelled as 16 hex digits; "unreadable" if
+/// the file cannot be opened.  Folded into the corpus identity so two
+/// runs over the same KISS2 *path* with different *contents* can never
+/// compare as identical — in particular, --resume must not reuse a shard
+/// file produced from an edited input.
+std::string kiss_fingerprint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "unreadable";
+  std::uint64_t hash = 1469598103934665603ull;
+  char buffer[4096];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    for (std::streamsize i = 0; i < in.gcount(); ++i) {
+      hash ^= static_cast<unsigned char>(buffer[i]);
+      hash *= 1099511628211ull;
+    }
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return hex;
+}
+
 seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
   seance::store::CorpusIdentity identity;
   identity.base_seed = flags.gen.seed;
@@ -262,7 +366,9 @@ seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
   };
   if (flags.suite) append("table1");
   if (flags.extra) append("extra");
-  for (const auto& path : flags.kiss_files) append("kiss:" + path);
+  for (const auto& path : flags.kiss_files) {
+    append("kiss:" + path + "@" + kiss_fingerprint(path));
+  }
   if (flags.random_count > 0) append("gen" + std::to_string(flags.random_count));
   if (flags.hard_count > 0) append("hard" + std::to_string(flags.hard_count));
   if (flags.harder_count > 0) {
@@ -272,16 +378,349 @@ seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
   return identity;
 }
 
+/// Worker half of the shard protocol: rebuild the full corpus from the
+/// forwarded recipe flags, take slice i of the round-robin plan, and run
+/// it with every finished row streamed (and flushed) into the shard store
+/// — so a crash mid-slice loses only the jobs after the last flush.  The
+/// orchestrator owns all reporting; workers print nothing but --progress.
+int run_shard_worker(const CorpusFlags& flags) {
+  if (flags.shard_out.empty()) {
+    std::printf("shard-worker: --shard-out FILE is required\n");
+    return 2;
+  }
+  seance::driver::BatchRunner corpus(flags.options);
+  if (!build_corpus(corpus, flags)) return 2;
+  const auto plan = seance::driver::ShardPlan::round_robin(
+      corpus.job_count(), flags.shard_total);
+  const auto& slice = plan.slices[static_cast<std::size_t>(flags.shard_worker)];
+
+  std::ofstream out(flags.shard_out, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::printf("shard-worker: cannot write %s\n", flags.shard_out.c_str());
+    return 2;
+  }
+  seance::store::StoredReport header;
+  header.identity = make_identity(flags);
+  header.identity.shard = std::to_string(flags.shard_worker) + "/" +
+                          std::to_string(flags.shard_total);
+  out << seance::store::serialize(header);  // metadata + CSV header
+  out.flush();
+
+  seance::driver::BatchOptions options = flags.options;
+  const auto user_progress = options.on_result;
+  const long die_after = flags.die_after;
+  // BatchRunner serializes on_result calls, so the stream needs no lock.
+  options.on_result = [&out, user_progress, die_after](
+                          const seance::driver::JobResult& r, int completed,
+                          int total) {
+    // The crash hook fires *between* jobs N and N+1: exactly N rows are
+    // on disk, which is the boundary the crash-isolation tests pin.
+    if (die_after >= 0 && completed > die_after) std::abort();
+    out << seance::driver::to_csv_row(r) << '\n';
+    out.flush();
+    if (user_progress) user_progress(r, completed, total);
+  };
+  seance::driver::BatchRunner runner(options);
+  for (const int job : slice) {
+    runner.add(corpus.jobs()[static_cast<std::size_t>(job)]);
+  }
+  (void)runner.run();  // job failures live in the store; exit says "ran"
+  out.flush();
+  return out ? 0 : 2;
+}
+
+#ifdef SEANCE_HAS_SHARD_EXEC
+
+std::string self_exe_path(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+#endif
+  return argv0;
+}
+
+/// The parent's argv minus everything that is orchestrator-side only:
+/// shard control, output paths, and --jobs (the parent re-divides the
+/// thread budget across workers).  Everything left is the corpus recipe,
+/// which is exactly what a worker needs to rebuild the same jobs.
+std::vector<std::string> forwarded_corpus_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" || arg == "--shard-dir" || arg == "--csv" ||
+        arg == "--out" || arg == "--jobs" || arg == "--shard-worker" ||
+        arg == "--shard-out" || arg == "--shard-worker-die-after") {
+      if (i + 1 < argc) ++i;
+      continue;
+    }
+    if (arg == "--resume" || arg == "--wall") continue;
+    out.push_back(arg);
+  }
+  return out;
+}
+
+pid_t spawn_worker(const std::vector<std::string>& args) {
+  std::vector<char*> argvv;
+  argvv.reserve(args.size() + 1);
+  for (const std::string& a : args) argvv.push_back(const_cast<char*>(a.c_str()));
+  argvv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // execvp, not execv: when /proc/self/exe is unavailable the exe path
+    // falls back to argv[0], which may be a bare name found via PATH.
+    execvp(argvv[0], argvv.data());
+    std::_Exit(127);  // exec failed; the parent reports the status
+  }
+  return pid;
+}
+
+/// True when `path` holds a complete, identity-matching report for
+/// exactly this slice — the --resume criterion for skipping a shard.
+bool shard_file_complete(const std::string& path,
+                         const seance::store::CorpusIdentity& identity,
+                         const std::string& shard_tag,
+                         std::vector<std::string> slice_names) {
+  seance::store::StoredReport stored;
+  try {
+    stored = seance::store::load(path, /*tolerate_partial_tail=*/true);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (stored.identity.shard != shard_tag ||
+      !seance::store::identity_mismatches(identity, stored.identity,
+                                          /*ignore_shard=*/true)
+           .empty()) {
+    return false;
+  }
+  if (stored.report.jobs.size() != slice_names.size()) return false;
+  std::vector<std::string> got;
+  got.reserve(stored.report.jobs.size());
+  for (const auto& j : stored.report.jobs) got.push_back(j.name);
+  std::sort(got.begin(), got.end());
+  std::sort(slice_names.begin(), slice_names.end());
+  return got == slice_names;
+}
+
+#endif  // SEANCE_HAS_SHARD_EXEC
+
+/// Orchestrator half: split the corpus round-robin, re-exec one worker
+/// per (non-reusable) slice, reap them, merge the shard stores back into
+/// one report in submission order, and record any lost jobs as crashed
+/// with the worker's exit detail.  Fills `merged` and returns 0, or
+/// returns nonzero after printing why.
+int run_sharded(int argc, char** argv, const CorpusFlags& flags,
+                seance::store::StoredReport& merged) {
+#ifndef SEANCE_HAS_SHARD_EXEC
+  (void)argc;
+  (void)argv;
+  (void)merged;
+  std::printf("--shards needs fork/exec, unavailable on this platform\n");
+  return 1;
+#else
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  const auto run_start = Clock::now();
+
+  seance::driver::BatchRunner corpus(flags.options);
+  if (!build_corpus(corpus, flags)) return 1;
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(corpus.job_count()));
+  std::unordered_set<std::string> seen;
+  for (const auto& spec : corpus.jobs()) {
+    if (!seen.insert(spec.name).second) {
+      std::printf("sharding requires unique job names (duplicate '%s')\n",
+                  spec.name.c_str());
+      return 1;
+    }
+    names.push_back(spec.name);
+  }
+
+  const int K = flags.shards;
+  const auto plan =
+      seance::driver::ShardPlan::round_robin(corpus.job_count(), K);
+  const auto identity = make_identity(flags);
+
+  std::error_code ec;
+  std::filesystem::create_directories(flags.shard_dir, ec);
+  if (ec) {
+    std::printf("cannot create shard dir %s: %s\n", flags.shard_dir.c_str(),
+                ec.message().c_str());
+    return 1;
+  }
+
+  int total_threads = flags.options.threads;
+  if (total_threads <= 0) {
+    total_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (total_threads <= 0) total_threads = 1;
+  const int worker_threads = std::max(1, total_threads / K);
+
+  struct ShardState {
+    std::string tag;    ///< "i/K"
+    std::string path;   ///< store file
+    pid_t pid = -1;
+    bool reused = false;
+    Clock::time_point start;
+    double wall_ms = 0.0;
+    std::string exit_detail;  ///< empty = clean exit (or reused/empty slice)
+  };
+  std::vector<ShardState> states(static_cast<std::size_t>(K));
+
+  const std::string exe = self_exe_path(argv[0]);
+  const std::vector<std::string> recipe = forwarded_corpus_args(argc, argv);
+  int live = 0;
+  for (int s = 0; s < K; ++s) {
+    ShardState& state = states[static_cast<std::size_t>(s)];
+    state.tag = std::to_string(s) + "/" + std::to_string(K);
+    state.path = flags.shard_dir + "/shard-" + std::to_string(s) + "-of-" +
+                 std::to_string(K) + ".csv";
+    const auto& slice = plan.slices[static_cast<std::size_t>(s)];
+    if (slice.empty()) continue;
+    if (flags.resume) {
+      std::vector<std::string> slice_names;
+      slice_names.reserve(slice.size());
+      for (const int job : slice) {
+        slice_names.push_back(names[static_cast<std::size_t>(job)]);
+      }
+      if (shard_file_complete(state.path, identity, state.tag,
+                              std::move(slice_names))) {
+        state.reused = true;
+        continue;
+      }
+    }
+    // Drop any stale file first: the worker truncates it only after
+    // rebuilding the corpus, so a worker that dies before that point
+    // must leave a *missing* file, never a previous run's rows that an
+    // identity check cannot distinguish from current.
+    std::filesystem::remove(state.path, ec);
+    std::vector<std::string> args{exe, argv[1]};
+    args.insert(args.end(), recipe.begin(), recipe.end());
+    args.insert(args.end(), {"--shard-worker", state.tag, "--shard-out",
+                             state.path, "--jobs",
+                             std::to_string(worker_threads)});
+    // The crash hook targets worker 0 only — one rogue shard, K-1 healthy.
+    if (s == 0 && flags.die_after >= 0) {
+      args.insert(args.end(), {"--shard-worker-die-after",
+                               std::to_string(flags.die_after)});
+    }
+    state.start = Clock::now();
+    state.pid = spawn_worker(args);
+    if (state.pid < 0) {
+      state.exit_detail = "fork failed";
+      continue;
+    }
+    ++live;
+  }
+
+  while (live > 0) {
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (ShardState& state : states) {
+      if (state.pid != pid) continue;
+      state.wall_ms = ms_since(state.start);
+      if (WIFSIGNALED(status)) {
+        state.exit_detail =
+            "killed by signal " + std::to_string(WTERMSIG(status));
+      } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        state.exit_detail =
+            "exited with status " + std::to_string(WEXITSTATUS(status));
+      }
+      --live;
+      break;
+    }
+  }
+
+  std::vector<seance::store::StoredReport> shard_reports;
+  shard_reports.reserve(states.size());
+  for (int s = 0; s < K; ++s) {
+    ShardState& state = states[static_cast<std::size_t>(s)];
+    if (plan.slices[static_cast<std::size_t>(s)].empty()) continue;
+    try {
+      shard_reports.push_back(
+          seance::store::load(state.path, /*tolerate_partial_tail=*/true));
+    } catch (const std::exception& e) {
+      // No usable file at all: the whole slice is lost; merge will mark it.
+      if (state.exit_detail.empty()) state.exit_detail = e.what();
+    }
+  }
+  try {
+    merged = seance::store::merge(identity, shard_reports, names);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+
+  double max_wall = 0.0;
+  for (int s = 0; s < K; ++s) {
+    const ShardState& state = states[static_cast<std::size_t>(s)];
+    max_wall = std::max(max_wall, state.wall_ms);
+    const auto& slice = plan.slices[static_cast<std::size_t>(s)];
+    int persisted = 0;
+    for (const int job : slice) {
+      auto& r = merged.report.jobs[static_cast<std::size_t>(job)];
+      if (r.status != seance::driver::JobStatus::kCrashed) {
+        ++persisted;
+      } else if (!state.exit_detail.empty()) {
+        r.detail = "shard " + state.tag + " worker " + state.exit_detail;
+      }
+    }
+    if (flags.quiet) continue;
+    if (slice.empty()) {
+      std::printf("shard %s: empty slice\n", state.tag.c_str());
+    } else if (state.reused) {
+      std::printf("shard %s: reused %s (%d jobs)\n", state.tag.c_str(),
+                  state.path.c_str(), persisted);
+    } else if (state.exit_detail.empty()) {
+      std::printf("shard %s: %d jobs reported (%.1f ms)\n", state.tag.c_str(),
+                  persisted, state.wall_ms);
+    } else {
+      std::printf("shard %s: worker %s — %d of %zu jobs persisted\n",
+                  state.tag.c_str(), state.exit_detail.c_str(), persisted,
+                  slice.size());
+    }
+  }
+  merged.report.threads_used = worker_threads;
+  merged.report.shards_used = K;
+  merged.report.max_shard_wall_ms = max_wall;
+  merged.report.wall_ms = ms_since(run_start);
+  return 0;
+#endif  // SEANCE_HAS_SHARD_EXEC
+}
+
 int run_batch(int argc, char** argv) {
   CorpusFlags flags;
   if (!parse_corpus_flags(argc, argv, /*baseline_mode=*/false, flags)) {
     usage();
     return 1;
   }
-  seance::driver::BatchRunner runner(flags.options);
-  if (!build_corpus(runner, flags)) return 1;
+  if (flags.shard_worker >= 0) return run_shard_worker(flags);
 
-  const auto report = runner.run();
+  seance::driver::BatchReport report;
+  if (flags.shards > 0) {
+    if (flags.wall) {
+      // Shard stores never persist per-job wall times (they are not a
+      // pure function of the spec), so a merged --wall column would be
+      // all fabricated zeros.
+      std::printf("--wall cannot be combined with --shards\n");
+      return 1;
+    }
+    seance::store::StoredReport merged;
+    const int rc = run_sharded(argc, argv, flags, merged);
+    if (rc != 0) return rc;
+    report = std::move(merged.report);
+  } else {
+    seance::driver::BatchRunner runner(flags.options);
+    if (!build_corpus(runner, flags)) return 1;
+    report = runner.run();
+  }
   std::printf("%s", report.summary(/*per_job=*/!flags.quiet).c_str());
   if (!flags.csv_path.empty()) {
     std::ofstream out(flags.csv_path);
@@ -301,17 +740,23 @@ int run_baseline(int argc, char** argv) {
     usage();
     return 1;
   }
+  if (flags.shard_worker >= 0) return run_shard_worker(flags);
   if (flags.out_path.empty()) {
     std::printf("baseline: --out FILE is required\n");
     usage();
     return 1;
   }
-  seance::driver::BatchRunner runner(flags.options);
-  if (!build_corpus(runner, flags)) return 1;
 
   seance::store::StoredReport stored;
-  stored.identity = make_identity(flags);
-  stored.report = runner.run();
+  if (flags.shards > 0) {
+    const int rc = run_sharded(argc, argv, flags, stored);
+    if (rc != 0) return rc;
+  } else {
+    seance::driver::BatchRunner runner(flags.options);
+    if (!build_corpus(runner, flags)) return 1;
+    stored.identity = make_identity(flags);
+    stored.report = runner.run();
+  }
   std::printf("%s", stored.report.summary(/*per_job=*/!flags.quiet).c_str());
   try {
     seance::store::save(flags.out_path, stored);
