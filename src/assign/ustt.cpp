@@ -27,6 +27,15 @@ std::vector<Transition> column_transitions(const FlowTable& table, int column) {
   return ts;
 }
 
+}  // namespace
+
+namespace detail {
+
+Dichotomy canonical(Dichotomy d) {
+  if (d.b < d.a) std::swap(d.a, d.b);
+  return d;
+}
+
 // States that transiently occupy `column` while their inputs are still in
 // flight: `s` parks (or is held by fsv) at its own code in every strict
 // intermediate column of each of its multiple-input-change transitions.
@@ -58,19 +67,7 @@ std::vector<StateSet> transient_parkers(const FlowTable& table, int column) {
   return parked;
 }
 
-Dichotomy canonical(Dichotomy d) {
-  if (d.b < d.a) std::swap(d.a, d.b);
-  return d;
-}
-
-}  // namespace
-
-bool separates(const Partition& p, const Dichotomy& d) {
-  return ((d.a & ~p.zeros) == 0 && (d.b & ~p.ones) == 0) ||
-         ((d.a & ~p.ones) == 0 && (d.b & ~p.zeros) == 0);
-}
-
-std::vector<Dichotomy> transition_dichotomies(const FlowTable& table) {
+std::vector<Dichotomy> raw_dichotomies(const FlowTable& table) {
   std::vector<Dichotomy> dichotomies;
   for (int c = 0; c < table.num_columns(); ++c) {
     std::vector<Transition> ts = column_transitions(table, c);
@@ -96,26 +93,69 @@ std::vector<Dichotomy> transition_dichotomies(const FlowTable& table) {
             });
   dichotomies.erase(std::unique(dichotomies.begin(), dichotomies.end()),
                     dichotomies.end());
+  return dichotomies;
+}
 
-  // Dominance: drop D2 when some D1 has D2's blocks inside its own blocks
-  // (any partition separating D1 then separates D2).
-  std::vector<char> dropped(dichotomies.size(), 0);
-  for (std::size_t i = 0; i < dichotomies.size(); ++i) {
-    if (dropped[i]) continue;
-    for (std::size_t j = 0; j < dichotomies.size(); ++j) {
-      if (i == j || dropped[j]) continue;
-      const Dichotomy& big = dichotomies[i];
-      const Dichotomy& small = dichotomies[j];
-      const bool direct = (small.a & ~big.a) == 0 && (small.b & ~big.b) == 0;
-      const bool swapped = (small.a & ~big.b) == 0 && (small.b & ~big.a) == 0;
-      if ((direct || swapped) && !(big.a == small.a && big.b == small.b)) {
-        dropped[j] = 1;
+std::vector<std::uint32_t> codes_from_partitions(int num_states,
+                                                 const std::vector<Partition>& parts) {
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(num_states), 0);
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    for (int s = 0; s < num_states; ++s) {
+      if (parts[v].ones & (StateSet{1} << s)) {
+        codes[static_cast<std::size_t>(s)] |= 1u << v;
       }
     }
   }
-  std::vector<Dichotomy> kept;
+  return codes;
+}
+
+}  // namespace detail
+
+bool separates(const Partition& p, const Dichotomy& d) {
+  return ((d.a & ~p.zeros) == 0 && (d.b & ~p.ones) == 0) ||
+         ((d.a & ~p.ones) == 0 && (d.b & ~p.zeros) == 0);
+}
+
+std::vector<Dichotomy> transition_dichotomies(const FlowTable& table) {
+  const std::vector<Dichotomy> dichotomies = detail::raw_dichotomies(table);
+
+  // Dominance: drop D2 when some D1 has D2's blocks inside its own blocks
+  // (any partition separating D1 then separates D2).  A dominator's total
+  // popcount is strictly larger: after canonical dedup, equal-popcount
+  // containment forces equality (blocks are disjoint, so the block sizes
+  // must match exactly), and swapped equality contradicts the a < b
+  // canonical order on both sides.  Bucketing by popcount therefore tests
+  // each dichotomy against strictly larger buckets only — and the largest
+  // bucket (the bulk: two disjoint 2-state transitions) against nothing,
+  // replacing the seed's all-pairs O(D^2) sweep.
+  int max_pc = 0;
+  std::vector<std::vector<std::uint32_t>> buckets(65);
   for (std::size_t i = 0; i < dichotomies.size(); ++i) {
-    if (!dropped[i]) kept.push_back(dichotomies[i]);
+    const int pc = std::popcount(dichotomies[i].a | dichotomies[i].b);
+    buckets[static_cast<std::size_t>(pc)].push_back(static_cast<std::uint32_t>(i));
+    max_pc = std::max(max_pc, pc);
+  }
+
+  std::vector<Dichotomy> kept;
+  kept.reserve(dichotomies.size());
+  for (std::size_t i = 0; i < dichotomies.size(); ++i) {
+    const Dichotomy& small = dichotomies[i];
+    const StateSet small_union = small.a | small.b;
+    const int pc = std::popcount(small_union);
+    bool dominated = false;
+    for (int big_pc = pc + 1; big_pc <= max_pc && !dominated; ++big_pc) {
+      for (const std::uint32_t j : buckets[static_cast<std::size_t>(big_pc)]) {
+        const Dichotomy& big = dichotomies[j];
+        if ((small_union & ~(big.a | big.b)) != 0) continue;
+        const bool direct = (small.a & ~big.a) == 0 && (small.b & ~big.b) == 0;
+        const bool swapped = (small.a & ~big.b) == 0 && (small.b & ~big.a) == 0;
+        if (direct || swapped) {
+          dominated = true;
+          break;
+        }
+      }
+    }
+    if (!dominated) kept.push_back(small);
   }
   return kept;
 }
@@ -123,25 +163,49 @@ std::vector<Dichotomy> transition_dichotomies(const FlowTable& table) {
 namespace {
 
 // Exact minimum "coloring" of dichotomies into mergeable classes, with a
-// node budget; each class becomes one state variable.
+// node budget; each class becomes one state variable.  Supports
+// incremental resumption: add() folds new dichotomies into the incumbent
+// solution when they fit (an exact incumbent that absorbs them without a
+// new class is still exact — the old optimum lower-bounds the enlarged
+// problem), and otherwise re-enters the branch and bound warm-started
+// from the extended incumbent instead of a cold greedy pass.
 class PartitionSearch {
  public:
   PartitionSearch(std::vector<Dichotomy> dichotomies, std::size_t budget)
       : dichotomies_(std::move(dichotomies)), budget_(budget) {
-    // Most-constrained-first: larger dichotomies are harder to place.
-    std::sort(dichotomies_.begin(), dichotomies_.end(),
-              [](const Dichotomy& x, const Dichotomy& y) {
-                return std::popcount(x.a | x.b) > std::popcount(y.a | y.b);
-              });
+    sort_most_constrained();
   }
 
   // Returns the classes; sets `exact` false if the budget ran out (the
   // incumbent greedy solution is returned in that case).
   std::vector<Partition> solve(bool* exact) {
     greedy();
-    std::vector<Partition> classes;
-    recurse(0, classes);
-    if (exact != nullptr) *exact = nodes_ <= budget_;
+    search();
+    if (exact != nullptr) *exact = last_exact_;
+    return best_;
+  }
+
+  // Folds `fresh` into the constraint set and re-solves incrementally.
+  // Must follow a solve() or add() call.
+  std::vector<Partition> add(const std::vector<Dichotomy>& fresh, bool* exact) {
+    std::vector<Partition> extended = best_;
+    bool opened = false;
+    for (const Dichotomy& d : fresh) {
+      if (!place_first_fit(extended, d)) {
+        extended.push_back(Partition{d.a, d.b});
+        opened = true;
+      }
+    }
+    dichotomies_.insert(dichotomies_.end(), fresh.begin(), fresh.end());
+    best_ = std::move(extended);
+    if (!opened && last_exact_) {
+      // Same class count as the proven optimum of a sub-problem: optimal.
+      if (exact != nullptr) *exact = true;
+      return best_;
+    }
+    sort_most_constrained();
+    search();  // warm incumbent: only strictly smaller solutions accepted
+    if (exact != nullptr) *exact = last_exact_;
     return best_;
   }
 
@@ -157,23 +221,41 @@ class PartitionSearch {
     p.ones |= flip ? d.a : d.b;
   }
 
+  static bool place_first_fit(std::vector<Partition>& classes, const Dichotomy& d) {
+    for (Partition& p : classes) {
+      for (const bool flip : {false, true}) {
+        if (fits(p, d, flip)) {
+          merge(p, d, flip);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void sort_most_constrained() {
+    // Most-constrained-first: larger dichotomies are harder to place.
+    // Deliberately no tiebreak — this comparator is pinned by the golden
+    // corpus; see tests/data/README.md.
+    std::sort(dichotomies_.begin(), dichotomies_.end(),
+              [](const Dichotomy& x, const Dichotomy& y) {
+                return std::popcount(x.a | x.b) > std::popcount(y.a | y.b);
+              });
+  }
+
   void greedy() {
     std::vector<Partition> classes;
     for (const Dichotomy& d : dichotomies_) {
-      bool placed = false;
-      for (Partition& p : classes) {
-        for (const bool flip : {false, true}) {
-          if (fits(p, d, flip)) {
-            merge(p, d, flip);
-            placed = true;
-            break;
-          }
-        }
-        if (placed) break;
-      }
-      if (!placed) classes.push_back(Partition{d.a, d.b});
+      if (!place_first_fit(classes, d)) classes.push_back(Partition{d.a, d.b});
     }
     best_ = std::move(classes);
+  }
+
+  void search() {
+    std::vector<Partition> classes;
+    nodes_ = 0;
+    recurse(0, classes);
+    last_exact_ = nodes_ <= budget_;
   }
 
   void recurse(std::size_t index, std::vector<Partition>& classes) {
@@ -205,20 +287,8 @@ class PartitionSearch {
   std::size_t budget_;
   std::vector<Partition> best_;
   std::size_t nodes_ = 0;
+  bool last_exact_ = true;
 };
-
-std::vector<std::uint32_t> codes_from_partitions(int num_states,
-                                                 const std::vector<Partition>& parts) {
-  std::vector<std::uint32_t> codes(static_cast<std::size_t>(num_states), 0);
-  for (std::size_t v = 0; v < parts.size(); ++v) {
-    for (int s = 0; s < num_states; ++s) {
-      if (parts[v].ones & (StateSet{1} << s)) {
-        codes[static_cast<std::size_t>(s)] |= 1u << v;
-      }
-    }
-  }
-  return codes;
-}
 
 }  // namespace
 
@@ -226,37 +296,37 @@ Assignment assign_ustt(const FlowTable& table, const AssignOptions& options) {
   if (table.num_states() > minimize::kMaxStates) {
     throw std::invalid_argument("assign_ustt: too many states");
   }
-  std::vector<Dichotomy> dichotomies = transition_dichotomies(table);
+  const int n = table.num_states();
+  PartitionSearch search(transition_dichotomies(table), options.node_budget);
+  bool exact = true;
+  std::vector<Partition> parts = search.solve(&exact);
 
   for (int round = 0;; ++round) {
-    if (round > table.num_states() * table.num_states()) {
+    if (round > n * n) {
       throw std::runtime_error("assign_ustt: uniqueness completion did not converge");
     }
-    PartitionSearch search(dichotomies, options.node_budget);
-    bool exact = true;
-    std::vector<Partition> parts = search.solve(&exact);
-    std::vector<std::uint32_t> codes =
-        codes_from_partitions(table.num_states(), parts);
-
+    std::vector<std::uint32_t> codes = detail::codes_from_partitions(n, parts);
     if (!options.ensure_unique) {
       return Assignment{std::move(codes), static_cast<int>(parts.size()),
-                        std::move(parts), exact};
+                        std::move(parts), exact, round};
     }
-    // Find a colliding pair; add a separating requirement and re-solve.
-    bool collision = false;
-    for (int s = 0; s < table.num_states() && !collision; ++s) {
-      for (int t = s + 1; t < table.num_states() && !collision; ++t) {
+    // Collect EVERY colliding pair of this round (the seed path added only
+    // the first and paid one full re-solve per pair), then resume the
+    // search with the whole batch of separation requirements at once.
+    std::vector<Dichotomy> fresh;
+    for (int s = 0; s < n; ++s) {
+      for (int t = s + 1; t < n; ++t) {
         if (codes[static_cast<std::size_t>(s)] == codes[static_cast<std::size_t>(t)]) {
-          dichotomies.push_back(
-              canonical(Dichotomy{StateSet{1} << s, StateSet{1} << t}));
-          collision = true;
+          fresh.push_back(
+              detail::canonical(Dichotomy{StateSet{1} << s, StateSet{1} << t}));
         }
       }
     }
-    if (!collision) {
+    if (fresh.empty()) {
       return Assignment{std::move(codes), static_cast<int>(parts.size()),
-                        std::move(parts), exact};
+                        std::move(parts), exact, round};
     }
+    parts = search.add(fresh, &exact);
   }
 }
 
@@ -285,7 +355,7 @@ bool verify_ustt(const FlowTable& table, const std::vector<std::uint32_t>& codes
       const Entry& e = table.entry(s, c);
       if (e.specified()) ts.emplace_back(s, e.next);
     }
-    for (StateSet parker : transient_parkers(table, c)) {
+    for (StateSet parker : detail::transient_parkers(table, c)) {
       const int s = std::countr_zero(parker);
       if (!table.entry(s, c).specified()) ts.emplace_back(s, s);
     }

@@ -15,6 +15,20 @@
 // maximal classes and run an exact branch-and-bound cover (greedy
 // fallback), then complete partial codes and enforce unicode (unique row
 // codes) by re-solving with extra separation constraints when necessary.
+//
+// This header is the production path: dominance reduction is
+// popcount-bucketed (only a strictly larger dichotomy can dominate, so
+// each dichotomy is tested against the larger buckets only — and the
+// common largest bucket is never scanned at all), and the partition
+// search resumes incrementally when the uniqueness-completion loop adds
+// separation requirements: all colliding pairs of a round are collected
+// at once, placed into the incumbent solution first (an exact solution
+// that absorbs them without a new class stays exact), and only otherwise
+// is the branch and bound re-entered — warm-started from that incumbent.
+// The seed implementation is retained in ustt_reference.hpp as the
+// differential oracle; tests/test_assign_equivalence.cpp holds the two
+// paths to the same dichotomy set, the same variable count, and
+// verify_ustt-valid codes on both sides.
 
 #pragma once
 
@@ -71,6 +85,11 @@ struct Assignment {
   /// The solved partitions, one per variable.
   std::vector<Partition> partitions;
   bool exact = true;  ///< false if the greedy fallback produced the cover
+  /// Uniqueness-completion rounds that found at least one code collision
+  /// and re-solved.  The production path collects every colliding pair
+  /// per round, so this is bounded by the depth of the collision
+  /// structure rather than the number of colliding pairs.
+  int completion_rounds = 0;
 };
 
 /// Computes a USTT assignment.  Throws std::runtime_error if the table has
@@ -88,5 +107,30 @@ struct Assignment {
                                const std::vector<std::uint32_t>& codes,
                                int num_vars, bool require_unique = true,
                                std::string* why = nullptr);
+
+namespace detail {
+
+/// Orders the pair so a < b (blocks are disjoint and non-empty, so the
+/// masks never compare equal).
+[[nodiscard]] Dichotomy canonical(Dichotomy d);
+
+/// States that transiently park at their own code inside `column` while a
+/// multiple-input-change transition is in flight (one singleton mask per
+/// state).  Shared by dichotomy generation and verify_ustt.
+[[nodiscard]] std::vector<StateSet> transient_parkers(
+    const flowtable::FlowTable& table, int column);
+
+/// Deduplicated, canonically sorted transition dichotomies *before*
+/// dominance reduction — the common input of the production and reference
+/// dominance passes, kept shared so the two reductions are compared on
+/// identical input.
+[[nodiscard]] std::vector<Dichotomy> raw_dichotomies(
+    const flowtable::FlowTable& table);
+
+/// Expands partitions into per-state codes (bit v = side of partition v).
+[[nodiscard]] std::vector<std::uint32_t> codes_from_partitions(
+    int num_states, const std::vector<Partition>& parts);
+
+}  // namespace detail
 
 }  // namespace seance::assign

@@ -242,6 +242,12 @@ void BatchRunner::add_harder_generated(int count, std::uint64_t base_seed) {
   add_generated(count, gen, "harder");
 }
 
+void BatchRunner::add_hardest_generated(int count, std::uint64_t base_seed) {
+  bench_suite::GeneratorOptions gen = kHardestShape;
+  gen.seed = base_seed;
+  add_generated(count, gen, "hardest");
+}
+
 JobResult run_with_deadline(std::string name, double timeout_ms,
                             std::function<JobResult()> body) {
   // The worker publishes into shared state it co-owns: on timeout we walk

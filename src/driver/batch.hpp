@@ -88,6 +88,20 @@ inline constexpr bench_suite::GeneratorOptions kHarderShape{
     .mic_bias = 0.7,
     .seed = 1};
 
+/// The hardest canonical shape (ROADMAP: >= 20 states / 6 inputs) opened
+/// by the bitset minimize + USTT engines: at this size the seed
+/// front-of-pipeline (pair-chart sweeps, level-wise prime generation)
+/// dominated job wall time, not the covering engine.  `seance_cli
+/// --hardest N` and the golden corpus batch exactly this shape — only the
+/// base seed varies.
+inline constexpr bench_suite::GeneratorOptions kHardestShape{
+    .num_states = 20,
+    .num_inputs = 6,
+    .num_outputs = 2,
+    .transition_density = 0.5,
+    .mic_bias = 0.7,
+    .seed = 1};
+
 /// One unit of work: a named table plus its synthesis options.
 struct JobSpec {
   std::string name;
@@ -224,9 +238,12 @@ class BatchRunner {
   /// from `base_seed`; jobs are named hard-8x4-NNNN so they can never
   /// collide with an add_generated stream at the same shape.
   void add_hard_generated(int count, std::uint64_t base_seed);
-  /// `count` tables at the hardest canonical shape (kHarderShape) seeded
+  /// `count` tables at the harder canonical shape (kHarderShape) seeded
   /// from `base_seed`; jobs are named harder-12x5-NNNN.
   void add_harder_generated(int count, std::uint64_t base_seed);
+  /// `count` tables at the hardest canonical shape (kHardestShape) seeded
+  /// from `base_seed`; jobs are named hardest-20x6-NNNN.
+  void add_hardest_generated(int count, std::uint64_t base_seed);
 
   [[nodiscard]] int job_count() const { return static_cast<int>(jobs_.size()); }
   [[nodiscard]] const std::vector<JobSpec>& jobs() const { return jobs_; }

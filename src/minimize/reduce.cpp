@@ -25,6 +25,10 @@ std::vector<int> set_members(StateSet s) {
   return members;
 }
 
+}  // namespace
+
+namespace detail {
+
 // Outputs of two entries conflict iff some bit is 0 in one and 1 in the other.
 bool outputs_conflict(const Entry& a, const Entry& b) {
   const std::size_t n = std::min(a.outputs.size(), b.outputs.size());
@@ -36,66 +40,21 @@ bool outputs_conflict(const Entry& a, const Entry& b) {
   return false;
 }
 
-}  // namespace
-
-std::vector<std::vector<char>> compatible_pairs(const FlowTable& table) {
-  const int n = table.num_states();
-  if (n > kMaxStates) throw std::invalid_argument("compatible_pairs: too many states");
-  std::vector<std::vector<char>> compat(static_cast<std::size_t>(n),
-                                        std::vector<char>(static_cast<std::size_t>(n), 1));
-  // Seed: output conflicts.
-  for (int s = 0; s < n; ++s) {
-    for (int t = s + 1; t < n; ++t) {
-      for (int c = 0; c < table.num_columns(); ++c) {
-        const Entry& es = table.entry(s, c);
-        const Entry& et = table.entry(t, c);
-        if (es.specified() && et.specified() && outputs_conflict(es, et)) {
-          compat[s][t] = compat[t][s] = 0;
-          break;
-        }
+void validate_output_widths(const FlowTable& table) {
+  const std::size_t width = static_cast<std::size_t>(table.num_outputs());
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      const Entry& e = table.entry(s, c);
+      if (!e.specified()) continue;
+      if (!e.outputs.empty() && e.outputs.size() != width) {
+        throw std::invalid_argument(
+            "reduce: state " + table.state_name(s) + " column " +
+            std::to_string(c) + " has " + std::to_string(e.outputs.size()) +
+            " output bits, table declares " + std::to_string(width));
       }
     }
   }
-  // Fixpoint on implied pairs.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int s = 0; s < n; ++s) {
-      for (int t = s + 1; t < n; ++t) {
-        if (!compat[s][t]) continue;
-        for (int c = 0; c < table.num_columns(); ++c) {
-          const Entry& es = table.entry(s, c);
-          const Entry& et = table.entry(t, c);
-          if (!es.specified() || !et.specified()) continue;
-          const int u = es.next;
-          const int v = et.next;
-          if (u != v && !compat[u][v]) {
-            compat[s][t] = compat[t][s] = 0;
-            changed = true;
-            break;
-          }
-        }
-      }
-    }
-  }
-  return compat;
 }
-
-bool is_compatible_set(const FlowTable& /*table*/,
-                       const std::vector<std::vector<char>>& pairs, StateSet set) {
-  const std::vector<int> members = set_members(set);
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    for (std::size_t j = i + 1; j < members.size(); ++j) {
-      if (!pairs[static_cast<std::size_t>(members[i])]
-                [static_cast<std::size_t>(members[j])]) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-namespace {
 
 // Bron-Kerbosch maximal-clique enumeration over the compatibility graph.
 void bron_kerbosch(const std::vector<StateSet>& adj, StateSet r, StateSet p,
@@ -127,22 +86,106 @@ void bron_kerbosch(const std::vector<StateSet>& adj, StateSet r, StateSet p,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
-std::vector<StateSet> maximal_compatibles(const FlowTable& table,
-                                          const std::vector<std::vector<char>>& pairs) {
+std::vector<StateSet> compatibility_rows(const FlowTable& table) {
   const int n = table.num_states();
-  std::vector<StateSet> adj(static_cast<std::size_t>(n), 0);
+  if (n > kMaxStates) throw std::invalid_argument("compatible_pairs: too many states");
+  const int cols = table.num_columns();
+  const StateSet all = (n >= 64) ? ~StateSet{0} : ((StateSet{1} << n) - 1);
+  std::vector<StateSet> rows(static_cast<std::size_t>(n), all);
+
+  // Pair index (s < t) -> flat slot.
+  const auto pair_index = [n](int s, int t) {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(t);
+  };
+  std::vector<char> incompatible(static_cast<std::size_t>(n) *
+                                     static_cast<std::size_t>(n),
+                                 0);
+  std::vector<std::size_t> worklist;
+
+  const auto mark = [&](int s, int t) {
+    if (t < s) std::swap(s, t);
+    auto& flag = incompatible[pair_index(s, t)];
+    if (flag) return;
+    flag = 1;
+    rows[static_cast<std::size_t>(s)] &= ~(StateSet{1} << t);
+    rows[static_cast<std::size_t>(t)] &= ~(StateSet{1} << s);
+    worklist.push_back(pair_index(s, t));
+  };
+
+  // Reverse-implication index: rev[(u,v)] lists the pairs (s,t) whose
+  // specified transitions in some column land on {u,v} — the pairs that
+  // must be revisited when (u,v) turns incompatible.  Built in one pass;
+  // each (pair, column) edge is touched exactly once here and at most
+  // once again during propagation, replacing the whole-chart fixpoint
+  // sweeps of the reference path.
+  std::vector<std::vector<std::uint32_t>> rev(static_cast<std::size_t>(n) *
+                                              static_cast<std::size_t>(n));
   for (int s = 0; s < n; ++s) {
-    for (int t = 0; t < n; ++t) {
-      if (s != t && pairs[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)]) {
-        adj[static_cast<std::size_t>(s)] |= StateSet{1} << t;
+    for (int t = s + 1; t < n; ++t) {
+      bool conflict = false;
+      for (int c = 0; c < cols && !conflict; ++c) {
+        const Entry& es = table.entry(s, c);
+        const Entry& et = table.entry(t, c);
+        if (es.specified() && et.specified() &&
+            detail::outputs_conflict(es, et)) {
+          conflict = true;
+        }
+      }
+      if (conflict) {
+        mark(s, t);
+        continue;  // already incompatible; implications are irrelevant
+      }
+      for (int c = 0; c < cols; ++c) {
+        const Entry& es = table.entry(s, c);
+        const Entry& et = table.entry(t, c);
+        if (!es.specified() || !et.specified()) continue;
+        int u = es.next;
+        int v = et.next;
+        if (u == v) continue;
+        if (v < u) std::swap(u, v);
+        if (u == s && v == t) continue;  // self-implication
+        rev[pair_index(u, v)].push_back(
+            static_cast<std::uint32_t>(pair_index(s, t)));
       }
     }
   }
+
+  while (!worklist.empty()) {
+    const std::size_t uv = worklist.back();
+    worklist.pop_back();
+    for (const std::uint32_t st : rev[uv]) {
+      if (incompatible[st]) continue;
+      const int s = static_cast<int>(st / static_cast<std::size_t>(n));
+      const int t = static_cast<int>(st % static_cast<std::size_t>(n));
+      mark(s, t);
+    }
+  }
+  return rows;
+}
+
+bool is_compatible_set(const FlowTable& /*table*/,
+                       const std::vector<StateSet>& rows, StateSet set) {
+  for (StateSet rest = set; rest != 0; rest &= rest - 1) {
+    const int s = std::countr_zero(rest);
+    if ((set & ~rows[static_cast<std::size_t>(s)]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<StateSet> maximal_compatibles(const FlowTable& table,
+                                          const std::vector<StateSet>& rows) {
+  const int n = table.num_states();
+  std::vector<StateSet> adj(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < n; ++s) {
+    adj[static_cast<std::size_t>(s)] =
+        rows[static_cast<std::size_t>(s)] & ~(StateSet{1} << s);
+  }
   std::vector<StateSet> cliques;
   const StateSet all = (n >= 64) ? ~StateSet{0} : ((StateSet{1} << n) - 1);
-  bron_kerbosch(adj, 0, all, 0, cliques);
+  detail::bron_kerbosch(adj, 0, all, 0, cliques);
   std::sort(cliques.begin(), cliques.end(), [](StateSet a, StateSet b) {
     if (popcount(a) != popcount(b)) return popcount(a) > popcount(b);
     return a < b;
@@ -154,8 +197,8 @@ std::vector<StateSet> implied_classes(const FlowTable& table, StateSet compatibl
   std::vector<StateSet> implied;
   for (int c = 0; c < table.num_columns(); ++c) {
     StateSet dest = 0;
-    for (int s : set_members(compatible)) {
-      const Entry& e = table.entry(s, c);
+    for (StateSet rest = compatible; rest != 0; rest &= rest - 1) {
+      const Entry& e = table.entry(std::countr_zero(rest), c);
       if (e.specified()) dest |= StateSet{1} << e.next;
     }
     if (popcount(dest) >= 2 && (dest & ~compatible) != 0) {
@@ -167,48 +210,83 @@ std::vector<StateSet> implied_classes(const FlowTable& table, StateSet compatibl
   return implied;
 }
 
-std::vector<PrimeCompatible> prime_compatibles(
-    const FlowTable& table, const std::vector<std::vector<char>>& pairs) {
-  const std::vector<StateSet> mcs = maximal_compatibles(table, pairs);
+std::vector<PrimeCompatible> prime_compatibles(const FlowTable& table,
+                                               const std::vector<StateSet>& rows) {
+  const std::vector<StateSet> mcs = maximal_compatibles(table, rows);
   const int n = table.num_states();
 
-  // Candidates per size, seeded by maximal compatibles.
+  // Every candidate is a nonempty submask of some maximal compatible, and
+  // the reference path's level-by-level subset generation visits exactly
+  // that family.  Enumerate it directly: walk each MC's submask lattice
+  // once, deduplicate across overlapping MCs with a 2^n seen-bitmap when
+  // n is small enough for one (the practical regime), else with per-size
+  // sort+unique, and bucket by popcount.  This removes the duplicated
+  // per-level candidate churn — a size-k subset was previously pushed
+  // once per parent — which dominated reduce() on collapse-heavy tables.
   std::vector<std::vector<StateSet>> by_size(static_cast<std::size_t>(n) + 1);
-  for (StateSet mc : mcs) by_size[static_cast<std::size_t>(popcount(mc))].push_back(mc);
+  constexpr int kBitmapStates = 26;  // 2^26 bits = 8 MiB, far past any bench
+  if (n <= kBitmapStates) {
+    std::vector<std::uint64_t> seen((std::size_t{1} << n) / 64 + 1, 0);
+    for (const StateSet mc : mcs) {
+      for (StateSet sub = mc; sub != 0; sub = (sub - 1) & mc) {
+        auto& word = seen[static_cast<std::size_t>(sub >> 6)];
+        const std::uint64_t bit = std::uint64_t{1} << (sub & 63);
+        if (word & bit) continue;  // shared with an earlier MC
+        word |= bit;
+        by_size[static_cast<std::size_t>(popcount(sub))].push_back(sub);
+      }
+    }
+    for (auto& bucket : by_size) std::sort(bucket.begin(), bucket.end());
+  } else {
+    for (const StateSet mc : mcs) {
+      by_size[static_cast<std::size_t>(popcount(mc))].push_back(mc);
+    }
+    for (int size = n; size > 1; --size) {
+      auto& bucket = by_size[static_cast<std::size_t>(size)];
+      std::sort(bucket.begin(), bucket.end());
+      bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+      for (const StateSet cand : bucket) {
+        for (StateSet rest = cand; rest != 0; rest &= rest - 1) {
+          by_size[static_cast<std::size_t>(size - 1)].push_back(
+              cand & ~(StateSet{1} << std::countr_zero(rest)));
+        }
+      }
+    }
+    auto& singletons = by_size[1];
+    std::sort(singletons.begin(), singletons.end());
+    singletons.erase(std::unique(singletons.begin(), singletons.end()),
+                     singletons.end());
+  }
 
   std::vector<PrimeCompatible> primes;
-  // Does `sub` have closure obligations no stronger than those already
-  // implied by an accepted prime superset?  (Grasselli-Luccio exclusion,
-  // containment form: every implied class of the superset fits inside an
-  // implied class of the subset — replacement in any solution stays valid.)
-  const auto excluded = [&](StateSet cand, const std::vector<StateSet>& cand_implied) {
-    for (const PrimeCompatible& p : primes) {
-      if ((cand & p.states) != cand || cand == p.states) continue;  // need strict superset
-      const bool weaker = std::all_of(
-          p.implied.begin(), p.implied.end(), [&](StateSet dp) {
-            return std::any_of(cand_implied.begin(), cand_implied.end(),
-                               [&](StateSet dc) { return (dp & ~dc) == 0; });
-          });
-      if (weaker) return true;
-    }
-    return false;
-  };
-
+  std::vector<StateSet> cand_implied;
   for (int size = n; size >= 1; --size) {
-    auto& candidates = by_size[static_cast<std::size_t>(size)];
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-    for (StateSet cand : candidates) {
-      const std::vector<StateSet> implied = implied_classes(table, cand);
-      if (!excluded(cand, implied)) {
-        primes.push_back(PrimeCompatible{cand, implied});
-      }
-      // All (size-1)-subsets become candidates at the next level down,
-      // whether or not `cand` itself was prime (standard generation).
-      if (size > 1) {
-        for (int v : set_members(cand)) {
-          by_size[static_cast<std::size_t>(size - 1)].push_back(cand & ~(StateSet{1} << v));
+    for (const StateSet cand : by_size[static_cast<std::size_t>(size)]) {
+      // Grasselli-Luccio exclusion with lazily memoized implied classes:
+      // a strict prime superset with *no* obligations excludes `cand`
+      // outright, so Γ(cand) is computed only when a containment test
+      // actually needs it (and then at most once per candidate).
+      bool implied_known = false;
+      bool excluded = false;
+      for (const PrimeCompatible& p : primes) {
+        if ((cand & p.states) != cand || cand == p.states) continue;
+        if (!p.implied.empty() && !implied_known) {
+          cand_implied = implied_classes(table, cand);
+          implied_known = true;
         }
+        const bool weaker = std::all_of(
+            p.implied.begin(), p.implied.end(), [&](StateSet dp) {
+              return std::any_of(cand_implied.begin(), cand_implied.end(),
+                                 [&](StateSet dc) { return (dp & ~dc) == 0; });
+            });
+        if (weaker) {
+          excluded = true;
+          break;
+        }
+      }
+      if (!excluded) {
+        if (!implied_known) cand_implied = implied_classes(table, cand);
+        primes.push_back(PrimeCompatible{cand, cand_implied});
       }
     }
   }
@@ -249,17 +327,29 @@ bool is_closed_cover(const FlowTable& table, const std::vector<StateSet>& classe
 
 namespace {
 
-// Branch-and-bound minimal closed cover over prime compatibles.
+// Branch-and-bound minimal closed cover over prime compatibles with an
+// incremental obligation frontier: the covered-state set and the met/unmet
+// flags of every outstanding implied class are maintained on push/pop (a
+// trail records which obligations a pushed prime satisfied, so pops undo
+// exactly that), so finding the branching obligation is a flag scan
+// instead of the reference path's full rescan of the chosen set.  The
+// traversal order is bit-for-bit that of ReferenceCoverSearch — the
+// equivalence suite pins identical node counts and identical covers.
 class CoverSearch {
  public:
   CoverSearch(const FlowTable& table, std::vector<PrimeCompatible> primes,
               std::size_t node_budget)
-      : table_(table), primes_(std::move(primes)), node_budget_(node_budget) {}
+      : primes_(std::move(primes)), node_budget_(node_budget),
+        chosen_mask_((primes_.size() + 63) / 64, 0) {
+    const int n = table.num_states();
+    all_states_ = (n >= 64) ? ~StateSet{0} : ((StateSet{1} << n) - 1);
+  }
 
-  std::vector<StateSet> solve() {
+  std::vector<StateSet> solve(std::size_t* nodes, bool* exact) {
     greedy();  // incumbent
-    std::vector<std::size_t> chosen;
-    recurse(chosen);
+    recurse();
+    if (nodes != nullptr) *nodes = nodes_;
+    if (exact != nullptr) *exact = nodes_ <= node_budget_;
     std::vector<StateSet> result;
     result.reserve(best_.size());
     for (std::size_t i : best_) result.push_back(primes_[i].states);
@@ -267,29 +357,75 @@ class CoverSearch {
   }
 
  private:
-  // First unmet obligation: an uncovered state (as a singleton set) or an
-  // implied class of a chosen prime not contained in any chosen prime.
-  std::optional<StateSet> first_unmet(const std::vector<std::size_t>& chosen) const {
-    StateSet covered = 0;
-    for (std::size_t i : chosen) covered |= primes_[i].states;
-    for (int s = 0; s < table_.num_states(); ++s) {
-      if (!(covered & (StateSet{1} << s))) return StateSet{1} << s;
-    }
-    for (std::size_t i : chosen) {
-      for (StateSet d : primes_[i].implied) {
-        const bool contained =
-            std::any_of(chosen.begin(), chosen.end(), [&](std::size_t j) {
-              return (d & ~primes_[j].states) == 0;
-            });
-        if (!contained) return d;
+  struct Obligation {
+    StateSet states = 0;
+    bool met = false;
+  };
+  struct Frame {
+    StateSet prev_covered = 0;
+    std::size_t obligation_start = 0;
+    std::size_t trail_start = 0;
+  };
+
+  [[nodiscard]] bool is_chosen(std::size_t i) const {
+    return (chosen_mask_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void push(std::size_t i) {
+    const StateSet states = primes_[i].states;
+    frames_.push_back(Frame{covered_, obligations_.size(), trail_.size()});
+    covered_ |= states;
+    // The new prime may satisfy outstanding obligations; record each flip
+    // on the trail so the matching pop un-flips exactly those.
+    for (std::size_t o = 0; o < frames_.back().obligation_start; ++o) {
+      Obligation& ob = obligations_[o];
+      if (!ob.met && (ob.states & ~states) == 0) {
+        ob.met = true;
+        trail_.push_back(static_cast<std::uint32_t>(o));
       }
+    }
+    // Its own obligations join the frontier, pre-met if any chosen prime
+    // (including itself) already contains them.
+    for (const StateSet d : primes_[i].implied) {
+      bool met = (d & ~states) == 0;
+      for (std::size_t k = 0; k < chosen_.size() && !met; ++k) {
+        met = (d & ~primes_[chosen_[k]].states) == 0;
+      }
+      obligations_.push_back(Obligation{d, met});
+    }
+    chosen_.push_back(i);
+    chosen_mask_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void pop() {
+    const std::size_t i = chosen_.back();
+    chosen_.pop_back();
+    chosen_mask_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    const Frame& frame = frames_.back();
+    covered_ = frame.prev_covered;
+    obligations_.resize(frame.obligation_start);
+    while (trail_.size() > frame.trail_start) {
+      obligations_[trail_.back()].met = false;
+      trail_.pop_back();
+    }
+    frames_.pop_back();
+  }
+
+  // First unmet obligation, in exactly the reference order: the lowest
+  // uncovered state (as a singleton), else the first unmet implied class
+  // in chosen-then-implied append order.
+  std::optional<StateSet> first_unmet() const {
+    if (covered_ != all_states_) {
+      return StateSet{1} << std::countr_zero(~covered_ & all_states_);
+    }
+    for (const Obligation& ob : obligations_) {
+      if (!ob.met) return ob.states;
     }
     return std::nullopt;
   }
 
   void greedy() {
-    std::vector<std::size_t> chosen;
-    while (auto unmet = first_unmet(chosen)) {
+    while (auto unmet = first_unmet()) {
       std::size_t best_i = primes_.size();
       int best_size = -1;
       for (std::size_t i = 0; i < primes_.size(); ++i) {
@@ -305,41 +441,53 @@ class CoverSearch {
       if (best_i == primes_.size()) {
         throw std::logic_error("closed-cover search: obligation unsatisfiable");
       }
-      chosen.push_back(best_i);
+      push(best_i);
     }
-    best_ = chosen;
+    best_ = chosen_;
+    while (!chosen_.empty()) pop();
   }
 
-  void recurse(std::vector<std::size_t>& chosen) {
+  void recurse() {
     if (++nodes_ > node_budget_) return;
-    if (chosen.size() + 1 >= best_.size() && first_unmet(chosen)) return;
-    const auto unmet = first_unmet(chosen);
+    const auto unmet = first_unmet();
+    if (chosen_.size() + 1 >= best_.size() && unmet) return;
     if (!unmet) {
-      if (chosen.size() < best_.size()) best_ = chosen;
+      if (chosen_.size() < best_.size()) best_ = chosen_;
       return;
     }
     for (std::size_t i = 0; i < primes_.size(); ++i) {
       if ((*unmet & ~primes_[i].states) != 0) continue;
-      if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) continue;
-      chosen.push_back(i);
-      recurse(chosen);
-      chosen.pop_back();
+      if (is_chosen(i)) continue;
+      push(i);
+      recurse();
+      pop();
       if (nodes_ > node_budget_) return;
     }
   }
 
-  const FlowTable& table_;
   std::vector<PrimeCompatible> primes_;
   std::size_t node_budget_;
+  StateSet all_states_ = 0;
+
+  StateSet covered_ = 0;
+  std::vector<std::size_t> chosen_;
+  std::vector<std::uint64_t> chosen_mask_;
+  std::vector<Obligation> obligations_;
+  std::vector<Frame> frames_;
+  std::vector<std::uint32_t> trail_;
+
   std::vector<std::size_t> best_;
   std::size_t nodes_ = 0;
 };
 
 Trit merged_output_bit(const FlowTable& table, StateSet cls, int column, int bit) {
   Trit result = Trit::kDC;
-  for (int s : set_members(cls)) {
-    const Entry& e = table.entry(s, column);
+  for (StateSet rest = cls; rest != 0; rest &= rest - 1) {
+    const Entry& e = table.entry(std::countr_zero(rest), column);
     if (!e.specified()) continue;
+    // Width was validated in reduce(): non-empty vectors carry exactly
+    // num_outputs() trits; an empty vector is all-don't-care.
+    if (e.outputs.empty()) continue;
     const Trit t = e.outputs[static_cast<std::size_t>(bit)];
     if (t == Trit::kDC) continue;
     if (result != Trit::kDC && result != t) {
@@ -352,13 +500,18 @@ Trit merged_output_bit(const FlowTable& table, StateSet cls, int column, int bit
 
 }  // namespace
 
-ReductionResult reduce(const FlowTable& table, const ReduceOptions& options) {
-  const auto pairs = compatible_pairs(table);
-  auto primes = prime_compatibles(table, pairs);
-  CoverSearch search(table, std::move(primes), options.node_budget);
-  std::vector<StateSet> classes = search.solve();
+namespace detail {
+
+ReductionResult build_reduction(const FlowTable& table,
+                                std::vector<StateSet> classes) {
   std::sort(classes.begin(), classes.end(), [](StateSet a, StateSet b) {
-    return std::countr_zero(a) < std::countr_zero(b);
+    const int za = std::countr_zero(a);
+    const int zb = std::countr_zero(b);
+    if (za != zb) return za < zb;
+    // Full-value tiebreak: two overlapping classes can share their lowest
+    // member, and an unspecified relative order would let reduced-state
+    // numbering (and every downstream byte) vary across stdlib sorts.
+    return a < b;
   });
 
   const int num_classes = static_cast<int>(classes.size());
@@ -412,7 +565,27 @@ ReductionResult reduce(const FlowTable& table, const ReduceOptions& options) {
       }
     }
   }
-  return ReductionResult{std::move(reduced), std::move(classes), std::move(state_to_class)};
+  ReductionResult result{FlowTable(1, 0, 1), {}, {}};
+  result.reduced = std::move(reduced);
+  result.classes = std::move(classes);
+  result.state_to_class = std::move(state_to_class);
+  return result;
+}
+
+}  // namespace detail
+
+ReductionResult reduce(const FlowTable& table, const ReduceOptions& options) {
+  detail::validate_output_widths(table);
+  const auto rows = compatibility_rows(table);
+  auto primes = prime_compatibles(table, rows);
+  CoverSearch search(table, std::move(primes), options.node_budget);
+  std::size_t nodes = 0;
+  bool exact = true;
+  std::vector<StateSet> classes = search.solve(&nodes, &exact);
+  ReductionResult result = detail::build_reduction(table, std::move(classes));
+  result.cover_nodes = nodes;
+  result.cover_exact = exact;
+  return result;
 }
 
 }  // namespace seance::minimize

@@ -8,6 +8,18 @@
 //   3. prime compatibles with Grasselli-Luccio dominance,
 //   4. branch-and-bound minimal closed cover,
 //   5. reduced-table construction (re-normalized to normal mode).
+//
+// This header is the packed-word production path: the pair chart is a
+// vector of per-state StateSet adjacency rows kept at a fixpoint by a
+// worklist over an implication index, prime generation walks the submask
+// lattice of the maximal compatibles exactly once (bitmap dedup, implied
+// classes computed lazily and memoized per candidate), and the
+// closed-cover search keeps an incremental obligation frontier instead of
+// rescanning its chosen set at every node.  The seed implementation is
+// retained verbatim (plus hot-path bugfixes) in reduce_reference.hpp as
+// the differential oracle; tests/test_minimize_equivalence.cpp holds the
+// two paths equal — same pair chart, same prime list, same search tree
+// (node counts), same class count.
 
 #pragma once
 
@@ -25,21 +37,23 @@ using StateSet = std::uint64_t;
 
 inline constexpr int kMaxStates = 64;
 
-/// Symmetric pair-compatibility matrix via the classic pair-chart
-/// fixpoint: a pair is compatible iff outputs never conflict and every
-/// implied pair is compatible.
-[[nodiscard]] std::vector<std::vector<char>> compatible_pairs(
+/// Pair-compatibility chart as per-state adjacency rows: bit t of row s is
+/// set iff states s and t are compatible (the diagonal is set — every
+/// state is self-compatible).  Computed by seeding output conflicts and
+/// propagating implied-pair incompatibility with a worklist over a
+/// reverse-implication index, so each (pair, column) edge is scanned a
+/// constant number of times instead of once per fixpoint sweep.
+[[nodiscard]] std::vector<StateSet> compatibility_rows(
     const flowtable::FlowTable& table);
 
 /// True iff all states in `set` are pairwise compatible.
 [[nodiscard]] bool is_compatible_set(const flowtable::FlowTable& table,
-                                     const std::vector<std::vector<char>>& pairs,
+                                     const std::vector<StateSet>& rows,
                                      StateSet set);
 
 /// Maximal compatibles (maximal cliques of the pair-compatibility graph).
 [[nodiscard]] std::vector<StateSet> maximal_compatibles(
-    const flowtable::FlowTable& table,
-    const std::vector<std::vector<char>>& pairs);
+    const flowtable::FlowTable& table, const std::vector<StateSet>& rows);
 
 /// The implied classes Γ(C): for each input column, the set of successor
 /// states of C's members; only classes with >= 2 states not contained in C
@@ -54,9 +68,11 @@ struct PrimeCompatible {
 
 /// Prime compatibles: compatibles not dominated by a strict superset with
 /// closure obligations no stronger than their own (Grasselli-Luccio).
+/// Every candidate (a nonempty submask of some maximal compatible) is
+/// visited exactly once; implied classes are computed lazily (a superset
+/// prime with no obligations excludes without them) and memoized.
 [[nodiscard]] std::vector<PrimeCompatible> prime_compatibles(
-    const flowtable::FlowTable& table,
-    const std::vector<std::vector<char>>& pairs);
+    const flowtable::FlowTable& table, const std::vector<StateSet>& rows);
 
 struct ReductionResult {
   flowtable::FlowTable reduced;
@@ -64,6 +80,12 @@ struct ReductionResult {
   std::vector<StateSet> classes;
   /// For each original state, one reduced state whose class contains it.
   std::vector<int> state_to_class;
+  /// Closed-cover branch-and-bound accounting: nodes expanded, and whether
+  /// the search completed inside the budget (false = greedy incumbent or
+  /// best-so-far returned).  The reference and bitset engines must agree
+  /// on `cover_nodes` — the equivalence suite pins it.
+  std::size_t cover_nodes = 0;
+  bool cover_exact = true;
 };
 
 struct ReduceOptions {
@@ -74,6 +96,8 @@ struct ReduceOptions {
 
 /// Full minimization.  The input must be normal-mode; the result is
 /// normal-mode again (chains introduced by merging are re-normalized).
+/// Throws std::invalid_argument if a specified entry's output vector is
+/// neither empty (= all don't-care) nor exactly num_outputs() wide.
 [[nodiscard]] ReductionResult reduce(const flowtable::FlowTable& table,
                                      const ReduceOptions& options = {});
 
@@ -83,5 +107,33 @@ struct ReduceOptions {
 [[nodiscard]] bool is_closed_cover(const flowtable::FlowTable& table,
                                    const std::vector<StateSet>& classes,
                                    std::string* why = nullptr);
+
+namespace detail {
+
+/// Shared back half of reduce()/reference_reduce(): orders the chosen
+/// classes deterministically — (countr_zero, full value), the full-value
+/// tiebreak pins the relative order of overlapping classes that share
+/// their lowest member across stdlib sort implementations — then builds
+/// the reduced table, merged outputs, and the state_to_class map.
+[[nodiscard]] ReductionResult build_reduction(const flowtable::FlowTable& table,
+                                              std::vector<StateSet> classes);
+
+/// Validates output-vector widths once up front: every specified entry
+/// must carry either an empty vector (all don't-care) or exactly
+/// num_outputs() trits.  Throws std::invalid_argument naming the entry.
+/// merged_output_bit and outputs_conflict both rely on this invariant.
+void validate_output_widths(const flowtable::FlowTable& table);
+
+/// Outputs of two entries conflict iff some bit is 0 in one and 1 in the
+/// other (empty/short vectors are all-don't-care past their end).
+[[nodiscard]] bool outputs_conflict(const flowtable::Entry& a,
+                                    const flowtable::Entry& b);
+
+/// Bron-Kerbosch maximal-clique enumeration over adjacency rows
+/// (diagonal must be clear).  Shared by both pair-chart representations.
+void bron_kerbosch(const std::vector<StateSet>& adj, StateSet r, StateSet p,
+                   StateSet x, std::vector<StateSet>& out);
+
+}  // namespace detail
 
 }  // namespace seance::minimize

@@ -5,6 +5,7 @@
 #include <bit>
 #include <set>
 
+#include "assign/ustt_reference.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "bench_suite/generator.hpp"
 #include "flowtable/table.hpp"
@@ -120,6 +121,34 @@ TEST(Assign, StableParkedStatesSeparatedFromTransitions) {
     if (bit(0) == bit(1) && bit(0) != bit(2)) separated = true;
   }
   EXPECT_TRUE(separated);
+}
+
+// A table with NO transition dichotomies: every column's transitions
+// interact (or are lone parked singletons), so the initial solve emits
+// zero partitions and all four states collide at code 0 — six
+// simultaneous colliding pairs.  The seed completion added ONE pair per
+// round and re-solved, taking a round per collision it happened to expose
+// next; the production path batches every colliding pair of a round and
+// converges in one.
+TEST(Assign, UniquenessCompletionBatchesCollisions) {
+  FlowTableBuilder b(2, 1);
+  b.on("a", "00", "a", "0");
+  b.on("b", "01", "b", "0");
+  b.on("c", "00", "c", "0");
+  b.on("d", "10", "d", "0");
+  b.on("a", "01", "b", "-");
+  b.on("c", "10", "d", "-");
+  const FlowTable t = b.build();
+  ASSERT_TRUE(transition_dichotomies(t).empty());
+
+  const Assignment fast = assign_ustt(t);
+  const Assignment ref = reference_assign_ustt(t);
+  std::string why;
+  EXPECT_TRUE(verify_ustt(t, fast.codes, fast.num_vars, true, &why)) << why;
+  EXPECT_TRUE(verify_ustt(t, ref.codes, ref.num_vars, true, &why)) << why;
+  EXPECT_EQ(fast.completion_rounds, 1);
+  EXPECT_GE(ref.completion_rounds, 3);
+  EXPECT_LT(fast.completion_rounds, ref.completion_rounds);
 }
 
 TEST(Assign, Table1SuiteAssignsRaceFree) {

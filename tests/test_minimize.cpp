@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 
 #include "bench_suite/benchmarks.hpp"
 #include "bench_suite/generator.hpp"
 #include "flowtable/table.hpp"
+#include "minimize/reduce_reference.hpp"
 
 namespace seance::minimize {
 namespace {
@@ -15,6 +17,10 @@ using bench_suite::GeneratorOptions;
 using flowtable::FlowTable;
 using flowtable::FlowTableBuilder;
 using flowtable::Trit;
+
+bool pair_compatible(const std::vector<StateSet>& rows, int s, int t) {
+  return (rows[static_cast<std::size_t>(s)] >> t) & 1;
+}
 
 // a and a2 are behaviourally identical; b is pinned apart from both by a
 // transient-output conflict in column 1.
@@ -45,20 +51,20 @@ FlowTable irreducible_three() {
 
 TEST(Minimize, DirectOutputConflictSeedsIncompatibility) {
   const FlowTable t = irreducible_three();
-  const auto pairs = compatible_pairs(t);
+  const auto rows = compatibility_rows(t);
   const int a = t.state_index("a");
   const int b = t.state_index("b");
   const int c = t.state_index("c");
-  EXPECT_FALSE(pairs[a][c]);  // stable outputs 0 vs 1 in column 0
-  EXPECT_FALSE(pairs[a][b]);  // transient 1 vs stable 0 in column 1
-  EXPECT_FALSE(pairs[b][c]);  // stable outputs 0 vs 1 in column 0
+  EXPECT_FALSE(pair_compatible(rows, a, c));  // stable outputs 0 vs 1 in column 0
+  EXPECT_FALSE(pair_compatible(rows, a, b));  // transient 1 vs stable 0 in column 1
+  EXPECT_FALSE(pair_compatible(rows, b, c));  // stable outputs 0 vs 1 in column 0
 }
 
 TEST(Minimize, IdenticalStatesAreCompatible) {
   const FlowTable t = redundant_pair_table();
-  const auto pairs = compatible_pairs(t);
-  EXPECT_TRUE(pairs[t.state_index("a")][t.state_index("a2")]);
-  EXPECT_FALSE(pairs[t.state_index("a")][t.state_index("b")]);
+  const auto rows = compatibility_rows(t);
+  EXPECT_TRUE(pair_compatible(rows, t.state_index("a"), t.state_index("a2")));
+  EXPECT_FALSE(pair_compatible(rows, t.state_index("a"), t.state_index("b")));
 }
 
 TEST(Minimize, MergesRedundantStates) {
@@ -91,17 +97,17 @@ TEST(Minimize, ImpliedPairPropagation) {
   builder.on("d", "1", "d", "1");
   builder.on("d", "0", "b", "-");
   const FlowTable t = builder.build();
-  const auto pairs = compatible_pairs(t);
-  EXPECT_FALSE(pairs[t.state_index("c")][t.state_index("d")]);
-  EXPECT_FALSE(pairs[t.state_index("a")][t.state_index("b")]);
+  const auto rows = compatibility_rows(t);
+  EXPECT_FALSE(pair_compatible(rows, t.state_index("c"), t.state_index("d")));
+  EXPECT_FALSE(pair_compatible(rows, t.state_index("a"), t.state_index("b")));
 }
 
 TEST(Minimize, MaximalCompatiblesAreCliques) {
   const FlowTable t = redundant_pair_table();
-  const auto pairs = compatible_pairs(t);
-  const auto mcs = maximal_compatibles(t, pairs);
+  const auto rows = compatibility_rows(t);
+  const auto mcs = maximal_compatibles(t, rows);
   for (StateSet mc : mcs) {
-    EXPECT_TRUE(is_compatible_set(t, pairs, mc));
+    EXPECT_TRUE(is_compatible_set(t, rows, mc));
   }
   const StateSet a_pair = (StateSet{1} << t.state_index("a")) |
                           (StateSet{1} << t.state_index("a2"));
@@ -165,17 +171,85 @@ TEST(Minimize, ClosedCoverChecker) {
 
 TEST(Minimize, PrimeCompatiblesIncludeUsefulClasses) {
   const FlowTable t = redundant_pair_table();
-  const auto pairs = compatible_pairs(t);
-  const auto primes = prime_compatibles(t, pairs);
+  const auto rows = compatibility_rows(t);
+  const auto primes = prime_compatibles(t, rows);
   EXPECT_FALSE(primes.empty());
   // Every prime must be a genuine compatible.
   for (const PrimeCompatible& p : primes) {
-    EXPECT_TRUE(is_compatible_set(t, pairs, p.states));
+    EXPECT_TRUE(is_compatible_set(t, rows, p.states));
   }
   // Every state must be covered by at least one prime (else no cover exists).
   StateSet covered = 0;
   for (const PrimeCompatible& p : primes) covered |= p.states;
   EXPECT_EQ(covered, (StateSet{1} << t.num_states()) - 1);
+}
+
+// Two chosen classes can share their lowest member; without the
+// full-value tiebreak in build_reduction their relative order (and every
+// downstream byte: state numbering, codes, equations) would hang on the
+// stdlib sort's tie handling.  b and c are forced apart by stable outputs;
+// a is compatible with both, so the cover is exactly {a,b} and {a,c} —
+// both classes start at state a.
+TEST(Minimize, OverlappingClassOrderIsPinned) {
+  FlowTableBuilder builder(1, 1);
+  builder.on("a", "1", "a", "-");
+  builder.on("b", "0", "b", "0");
+  builder.on("c", "0", "c", "1");
+  const FlowTable t = builder.build();
+  ASSERT_EQ(t.state_index("a"), 0);
+  const ReductionResult r = reduce(t);
+  ASSERT_EQ(r.reduced.num_states(), 2);
+  // countr_zero ties at state a; {a,b} = 0b011 sorts before {a,c} = 0b101.
+  EXPECT_EQ(r.classes[0], (StateSet{1} << 0) | (StateSet{1} << 1));
+  EXPECT_EQ(r.classes[1], (StateSet{1} << 0) | (StateSet{1} << 2));
+  EXPECT_EQ(r.reduced.state_name(0), "m_a_b");
+  EXPECT_EQ(r.reduced.state_name(1), "m_a_c");
+  const ReductionResult ref = reference_reduce(t);
+  EXPECT_EQ(ref.classes, r.classes);
+}
+
+// The closed-cover hot-path fixes (first_unmet evaluated once per node,
+// bitset membership) and the incremental obligation frontier must not
+// change the search tree.  Both engines report node counts; pin them
+// against each other and against literal values so a future change that
+// silently alters the traversal fails loudly.
+TEST(Minimize, CoverSearchNodeCountsPinned) {
+  const auto& bench = bench_suite::by_name("train4");
+  const FlowTable train4 = bench_suite::load(bench);
+  const ReductionResult r = reduce(train4);
+  const ReductionResult ref = reference_reduce(train4);
+  EXPECT_EQ(r.cover_nodes, ref.cover_nodes);
+  EXPECT_TRUE(r.cover_exact);
+  EXPECT_TRUE(ref.cover_exact);
+
+  GeneratorOptions gen;
+  gen.num_states = 8;
+  gen.num_inputs = 3;
+  gen.num_outputs = 1;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    gen.seed = seed;
+    const FlowTable t = bench_suite::generate(gen);
+    EXPECT_EQ(reduce(t).cover_nodes, reference_reduce(t).cover_nodes)
+        << "seed " << seed;
+  }
+}
+
+// A specified entry whose output vector is neither empty (all-DC) nor
+// exactly num_outputs() wide used to crash merged_output_bit with an
+// out-of-range read; reduce() now rejects it up front.
+TEST(Minimize, MalformedOutputWidthIsRejected) {
+  FlowTableBuilder builder(1, 2);
+  builder.on("a", "0", "a", "00");
+  builder.on("a", "1", "b", "11");
+  builder.on("b", "1", "b", "00");
+  builder.on("b", "0", "a", "--");
+  FlowTable t = builder.build();
+  t.entry(t.state_index("a"), 0).outputs.resize(1);
+  EXPECT_THROW((void)reduce(t), std::invalid_argument);
+  EXPECT_THROW((void)reference_reduce(t), std::invalid_argument);
+  // An empty vector means all-don't-care and stays legal.
+  t.entry(t.state_index("a"), 0).outputs.clear();
+  EXPECT_NO_THROW((void)reduce(t));
 }
 
 TEST(Minimize, Train4CollapsesHard) {

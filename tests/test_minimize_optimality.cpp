@@ -11,6 +11,7 @@
 
 #include "bench_suite/generator.hpp"
 #include "minimize/reduce.hpp"
+#include "minimize/reduce_reference.hpp"
 
 namespace seance::minimize {
 namespace {
@@ -19,11 +20,11 @@ using flowtable::FlowTable;
 
 // All compatibles = all non-empty subsets that are pairwise compatible.
 std::vector<StateSet> all_compatibles(const FlowTable& table,
-                                      const std::vector<std::vector<char>>& pairs) {
+                                      const std::vector<StateSet>& rows) {
   const int n = table.num_states();
   std::vector<StateSet> result;
   for (StateSet set = 1; set < (StateSet{1} << n); ++set) {
-    if (is_compatible_set(table, pairs, set)) result.push_back(set);
+    if (is_compatible_set(table, rows, set)) result.push_back(set);
   }
   return result;
 }
@@ -31,8 +32,8 @@ std::vector<StateSet> all_compatibles(const FlowTable& table,
 // Brute-force minimum closed cover cardinality (tables kept <= 6 states so
 // the subset lattice stays tractable).
 std::optional<std::size_t> brute_force_minimum(const FlowTable& table) {
-  const auto pairs = compatible_pairs(table);
-  const auto compatibles = all_compatibles(table, pairs);
+  const auto rows = compatibility_rows(table);
+  const auto compatibles = all_compatibles(table, rows);
   if (compatibles.size() > 20) return std::nullopt;  // would blow up
   const std::size_t limit = 1ull << compatibles.size();
   std::size_t best = compatibles.size() + 1;
@@ -61,6 +62,8 @@ TEST_P(MinimizeOptimality, MatchesBruteForceMinimum) {
   if (!truth.has_value()) GTEST_SKIP() << "compatible lattice too large";
   const ReductionResult r = reduce(table);
   EXPECT_EQ(r.classes.size(), *truth) << "seed " << GetParam();
+  const ReductionResult ref = reference_reduce(table);
+  EXPECT_EQ(ref.classes.size(), *truth) << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeOptimality,
@@ -76,9 +79,9 @@ TEST(MinimizeOptimality, PrimeCompatiblesDominateAllCompatibles) {
   gen.num_inputs = 3;
   gen.seed = 33;
   const FlowTable table = bench_suite::generate(gen);
-  const auto pairs = compatible_pairs(table);
-  const auto primes = prime_compatibles(table, pairs);
-  for (StateSet c : all_compatibles(table, pairs)) {
+  const auto rows = compatibility_rows(table);
+  const auto primes = prime_compatibles(table, rows);
+  for (StateSet c : all_compatibles(table, rows)) {
     const auto c_implied = implied_classes(table, c);
     bool replaceable = false;
     for (const PrimeCompatible& p : primes) {

@@ -32,6 +32,8 @@
 //                      (8 states / 4 inputs, driver::kHardShape; default 0)
 //   --harder N         extra generated tables at the harder canonical shape
 //                      (12 states / 5 inputs, driver::kHarderShape; default 0)
+//   --hardest N        extra generated tables at the hardest canonical shape
+//                      (20 states / 6 inputs, driver::kHardestShape; default 0)
 //   --states/--inputs/--outputs N   generator shape (default 6/3/2)
 //   --density D        generator transition density (default 0.5)
 //   --mic-bias B       generator MIC bias (default 0.7)
@@ -113,6 +115,7 @@ void usage() {
       "              [--kiss F] [--verify] [--walk N] [--baseline]\n"
       "              [--no-minimize] [--flat] [--quiet]\n"
       "       seance batch [--jobs N] [--random N] [--hard N] [--harder N]\n"
+      "              [--hardest N]\n"
       "              [--states N] [--inputs N]\n"
       "              [--outputs N] [--density D] [--mic-bias B] [--seed S]\n"
       "              [--no-suite] [--extra] [--kiss-file F] [--no-ternary]\n"
@@ -141,6 +144,7 @@ struct CorpusFlags {
   int random_count = 100;
   int hard_count = 0;
   int harder_count = 0;
+  int hardest_count = 0;
   bool suite = true;
   bool extra = false;
   bool quiet = false;
@@ -214,6 +218,8 @@ bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
       next_int(flags.hard_count);
     } else if (arg == "--harder") {
       next_int(flags.harder_count);
+    } else if (arg == "--hardest") {
+      next_int(flags.hardest_count);
     } else if (arg == "--states") {
       next_int(flags.gen.num_states);
     } else if (arg == "--inputs") {
@@ -320,6 +326,9 @@ bool build_corpus(seance::driver::BatchRunner& runner, const CorpusFlags& flags)
     if (flags.harder_count > 0) {
       runner.add_harder_generated(flags.harder_count, flags.gen.seed);
     }
+    if (flags.hardest_count > 0) {
+      runner.add_hardest_generated(flags.hardest_count, flags.gen.seed);
+    }
   } catch (const std::exception& e) {
     std::printf("corpus error: %s\n", e.what());
     return false;
@@ -373,6 +382,9 @@ seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
   if (flags.hard_count > 0) append("hard" + std::to_string(flags.hard_count));
   if (flags.harder_count > 0) {
     append("harder" + std::to_string(flags.harder_count));
+  }
+  if (flags.hardest_count > 0) {
+    append("hardest" + std::to_string(flags.hardest_count));
   }
   identity.corpus = corpus;
   return identity;
