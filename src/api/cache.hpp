@@ -1,0 +1,120 @@
+// Two-tier content-addressed result cache behind the api facade.
+//
+// Tier 0 (warm): a frozen key set pre-built at server startup from the
+// golden corpus — a flat open-addressed probe table over fnv64(key)
+// (the FlatCubeSet idiom from the prime engine, and the sshash
+// "minimizers over a frozen key set" exemplar): one array probe plus one
+// string compare answers repeat traffic for the corpus everyone reruns.
+//
+// Tier 1 (LRU): bounded in-memory map over (cache key -> metrics row),
+// least-recently-used eviction under a byte budget.
+//
+// Tier 2 (disk): one file per key under a store directory, value-encoded
+// as a one-row regression store file (src/store) whose `# corpus:` line
+// carries the full key — so entries are human-readable, survive
+// restarts, tolerate other builds' extra header lines, and a torn or
+// corrupt entry (or an fnv64 filename collision) fails the key check and
+// is treated as a miss, then overwritten.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/api.hpp"
+#include "driver/batch.hpp"
+
+namespace seance::api {
+
+struct CacheConfig {
+  /// On-disk entry directory; empty disables the disk tier.  Created on
+  /// first write-back.
+  std::string dir;
+  /// LRU budget in bytes (approximate per-entry accounting); 0 disables
+  /// the in-memory tier.
+  std::size_t mem_limit_bytes = std::size_t{64} << 20;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;       ///< all tiers
+  std::uint64_t warm_hits = 0;  ///< subset of hits answered by tier 0
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;  ///< bad entries treated as misses
+  std::size_t entries = 0;  ///< live LRU entries
+  std::size_t bytes = 0;    ///< approximate LRU footprint
+  std::size_t warm_entries = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config);
+
+  /// Adds one row to the warm tier.  Warm keys are frozen: inserts are
+  /// only legal before seal(), and lookups only see them after seal().
+  void warm_insert(std::string key, driver::JobResult row);
+  /// Freezes the warm tier and builds the flat probe table.
+  void warm_seal();
+
+  /// Probes warm -> LRU -> disk.  On a row, `disposition` (optional) is
+  /// kHit; on nullopt it is kMiss (nothing found) or kStale (an on-disk
+  /// entry existed but failed the key/shape check and will be
+  /// overwritten by the next insert).  Disk hits are promoted into the
+  /// LRU so repeat traffic stops paying the file read.
+  [[nodiscard]] std::optional<driver::JobResult> lookup(
+      const std::string& key, CacheDisposition* disposition = nullptr);
+
+  /// Write-back: inserts into the LRU (evicting past the byte budget)
+  /// and persists the on-disk entry (overwriting any stale file).
+  void insert(const std::string& key, const driver::JobResult& row);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  /// Entry path for a key: "<dir>/entry-<fnv64(key)>.csv".  Distinct keys
+  /// may collide on the filename; the in-file key check resolves that as
+  /// kStale (last writer wins), never as a wrong answer.
+  [[nodiscard]] std::string entry_path(const std::string& key) const;
+
+  /// The one-row store-file encoding of a cache entry (exposed for tests
+  /// and external warmers).
+  [[nodiscard]] static std::string encode_entry(const std::string& key,
+                                                const driver::JobResult& row);
+  /// Inverse of encode_entry; nullopt when the bytes are torn, corrupt,
+  /// or carry a different key (the stale-entry criterion).
+  [[nodiscard]] static std::optional<driver::JobResult> decode_entry(
+      const std::string& bytes, const std::string& key);
+
+ private:
+  struct LruEntry {
+    std::string key;
+    driver::JobResult row;
+    std::size_t bytes = 0;
+  };
+  /// Warm slot: cached hash plus index+1 into warm_rows_ (0 = empty).
+  struct WarmSlot {
+    std::uint64_t hash = 0;
+    std::uint32_t index_plus_1 = 0;
+  };
+
+  void lru_put(const std::string& key, const driver::JobResult& row);
+  [[nodiscard]] const driver::JobResult* warm_find(
+      const std::string& key) const;
+
+  CacheConfig config_;
+  CacheStats stats_;
+
+  std::vector<std::pair<std::string, driver::JobResult>> warm_rows_;
+  std::vector<WarmSlot> warm_slots_;  ///< power-of-two open addressing
+  std::uint64_t warm_mask_ = 0;
+  bool warm_sealed_ = false;
+
+  std::list<LruEntry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<LruEntry>::iterator> lru_index_;
+  std::size_t lru_bytes_ = 0;
+};
+
+}  // namespace seance::api

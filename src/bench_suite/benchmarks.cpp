@@ -11,7 +11,10 @@ namespace {
 // "Test example": a fully specified 4-state, 3-input table with dense
 // multiple-input-change transitions, in the style of the paper's running
 // example.  States share stable columns with conflicting outputs, so the
-// table is already minimal.
+// table is already minimal.  Block order (A, C, B, D) is load-bearing:
+// parse_kiss2 interns states in current-block order, synthesis is
+// sensitive to state order, and the pinned metrics were produced with C
+// at index 1.
 constexpr const char* kTestExample = R"(.i 3
 .o 1
 .s 4
@@ -24,14 +27,6 @@ constexpr const char* kTestExample = R"(.i 3
 101 A D -
 011 A C -
 111 A D -
-100 B B 0
-110 B B 0
-111 B B 0
-000 B A -
-010 B C -
-001 B A -
-101 B D -
-011 B C -
 000 C C 1
 010 C C 0
 011 C C 1
@@ -40,6 +35,14 @@ constexpr const char* kTestExample = R"(.i 3
 001 C A -
 101 C D -
 111 C D -
+100 B B 0
+110 B B 0
+111 B B 0
+000 B A -
+010 B C -
+001 B A -
+101 B D -
+011 B C -
 110 D D 1
 101 D D 1
 111 D D 1

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -16,6 +17,131 @@ using flowtable::FlowTable;
 using flowtable::Trit;
 using logic::Cover;
 using logic::Minterm;
+
+const char* to_string(logic::CoverMode mode) {
+  switch (mode) {
+    case logic::CoverMode::kEssentialSop: return "essential-sop";
+    case logic::CoverMode::kGreedy: return "greedy";
+    case logic::CoverMode::kAllPrimes: return "all-primes";
+  }
+  return "unknown";
+}
+
+std::optional<logic::CoverMode> cover_mode_from_string(std::string_view name) {
+  if (name == "essential-sop") return logic::CoverMode::kEssentialSop;
+  if (name == "greedy") return logic::CoverMode::kGreedy;
+  if (name == "all-primes") return logic::CoverMode::kAllPrimes;
+  return std::nullopt;
+}
+
+std::string options_to_string(const SynthesisOptions& options) {
+  std::string s = "v" + std::to_string(kOptionsEncodingVersion);
+  const auto add_bool = [&](const char* key, bool value) {
+    s += ' ';
+    s += key;
+    s += value ? "=1" : "=0";
+  };
+  add_bool("fsv", options.add_fsv);
+  add_bool("minimize", options.minimize_states);
+  add_bool("factor", options.factor);
+  add_bool("consensus", options.consensus_repair);
+  s += " cover=";
+  s += to_string(options.cover_mode);
+  s += " cover-budget=" + std::to_string(options.cover_node_budget);
+  add_bool("unique", options.assign.ensure_unique);
+  s += " assign-budget=" + std::to_string(options.assign.node_budget);
+  s += " reduce-budget=" + std::to_string(options.reduce.node_budget);
+  return s;
+}
+
+SynthesisOptions options_from_string(std::string_view text) {
+  const auto fail = [](const std::string& why) -> void {
+    throw std::runtime_error("options: " + why);
+  };
+
+  // Whitespace-split tokens; the first must be the exact version tag.
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t start = text.find_first_not_of(' ', pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = text.find(' ', start);
+    if (end == std::string_view::npos) end = text.size();
+    tokens.push_back(text.substr(start, end - start));
+    pos = end;
+  }
+  const std::string version = "v" + std::to_string(kOptionsEncodingVersion);
+  if (tokens.empty() || tokens.front() != version) {
+    fail("expected version tag '" + version + "', got '" +
+         (tokens.empty() ? std::string() : std::string(tokens.front())) + "'");
+  }
+
+  SynthesisOptions options;
+  std::vector<std::string> seen;
+  const auto parse_bool = [&](std::string_view key, std::string_view value,
+                              bool& out) {
+    if (value == "0") {
+      out = false;
+    } else if (value == "1") {
+      out = true;
+    } else {
+      fail(std::string(key) + " must be 0 or 1, got '" + std::string(value) +
+           "'");
+    }
+  };
+  const auto parse_budget = [&](std::string_view key, std::string_view value,
+                                std::size_t& out) {
+    const std::string v(value);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size()) {
+      fail(std::string(key) + " needs an unsigned integer, got '" + v + "'");
+    }
+    out = static_cast<std::size_t>(n);
+  };
+
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    const std::string_view token = tokens[t];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      fail("expected key=value, got '" + std::string(token) + "'");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    for (const std::string& prior : seen) {
+      if (prior == key) fail("duplicate key '" + std::string(key) + "'");
+    }
+    seen.emplace_back(key);
+    if (key == "fsv") {
+      parse_bool(key, value, options.add_fsv);
+    } else if (key == "minimize") {
+      parse_bool(key, value, options.minimize_states);
+    } else if (key == "factor") {
+      parse_bool(key, value, options.factor);
+    } else if (key == "consensus") {
+      parse_bool(key, value, options.consensus_repair);
+    } else if (key == "cover") {
+      const auto mode = cover_mode_from_string(value);
+      if (!mode) fail("unknown cover mode '" + std::string(value) + "'");
+      options.cover_mode = *mode;
+    } else if (key == "cover-budget") {
+      parse_budget(key, value, options.cover_node_budget);
+    } else if (key == "unique") {
+      parse_bool(key, value, options.assign.ensure_unique);
+    } else if (key == "assign-budget") {
+      parse_budget(key, value, options.assign.node_budget);
+    } else if (key == "reduce-budget") {
+      parse_budget(key, value, options.reduce.node_budget);
+    } else {
+      // Unknown keys are rejected, not skipped: a key this build does not
+      // know could change results in the build that wrote it, so treating
+      // the string as equivalent would alias two different configurations
+      // under one cache key.
+      fail("unknown key '" + std::string(key) + "'");
+    }
+  }
+  return options;
+}
 
 std::vector<std::string> VariableLayout::names() const {
   std::vector<std::string> result;

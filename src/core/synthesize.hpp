@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "assign/ustt.hpp"
@@ -84,6 +85,37 @@ struct SynthesisOptions {
   assign::AssignOptions assign;
   minimize::ReduceOptions reduce;
 };
+
+/// Version of the canonical SynthesisOptions encoding below.  The encoded
+/// string is a cache-key component (src/api result cache) and the
+/// `# synthesis:` identity line of the regression store, so *any* change
+/// to the field set, field order, or value spellings must bump this — a
+/// conscious event that invalidates every cached result and golden
+/// identity line at once instead of silently aliasing old entries.
+/// (v1 was the pre-codec store::describe spelling: unversioned and
+/// missing cover-budget.)
+inline constexpr int kOptionsEncodingVersion = 2;
+
+/// Canonical spelling of a cover policy ("essential-sop", "greedy",
+/// "all-primes"); inverse returns nullopt for unknown names.
+[[nodiscard]] const char* to_string(logic::CoverMode mode);
+[[nodiscard]] std::optional<logic::CoverMode> cover_mode_from_string(
+    std::string_view name);
+
+/// Canonical, byte-stable encoding of every result-affecting knob:
+///   "v2 fsv=B minimize=B factor=B consensus=B cover=MODE
+///    cover-budget=N unique=B assign-budget=N reduce-budget=N"
+/// Equal options always produce equal bytes (field order is pinned by
+/// test), so the string can key a content-addressed cache and compare
+/// pipeline configurations across processes.
+[[nodiscard]] std::string options_to_string(const SynthesisOptions& options);
+
+/// Inverse of options_to_string.  Absent keys keep their defaults (a
+/// client may send only the knobs it overrides); unknown or duplicate
+/// keys, malformed values, and any version token other than the current
+/// one throw std::runtime_error — an encoding mismatch must never be
+/// silently reinterpreted, it is a cache-correctness boundary.
+[[nodiscard]] SynthesisOptions options_from_string(std::string_view text);
 
 /// Paper Table 1 metrics.
 struct DepthReport {

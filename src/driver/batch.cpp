@@ -294,7 +294,8 @@ JobResult run_with_deadline(std::string name, double timeout_ms,
   return r;
 }
 
-JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options) {
+JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options,
+                               core::FantomMachine* machine_out) {
   JobResult r;
   r.name = spec.name;
   r.num_inputs = spec.table.num_inputs();
@@ -333,6 +334,7 @@ JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options)
         r.detail = ternary.first_failure;
       }
     }
+    if (machine_out) *machine_out = machine;
   } catch (const std::exception& e) {
     r.status = JobStatus::kSynthesisError;
     r.detail = e.what();

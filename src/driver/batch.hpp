@@ -252,9 +252,14 @@ class BatchRunner {
   [[nodiscard]] BatchReport run() const;
 
   /// Executes a single spec inline (the pool's worker body; exposed for
-  /// tests and for callers that want their own scheduling).
+  /// tests and for callers that want their own scheduling).  When
+  /// `machine_out` is non-null and synthesis succeeds, the machine is
+  /// copied out — the api facade's single-table path needs the equations
+  /// and netlist alongside the metrics row without running twice.
   [[nodiscard]] static JobResult run_job(const JobSpec& spec,
-                                         const BatchOptions& options);
+                                         const BatchOptions& options,
+                                         core::FantomMachine* machine_out =
+                                             nullptr);
 
  private:
   BatchOptions options_;

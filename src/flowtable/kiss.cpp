@@ -102,7 +102,16 @@ FlowTable parse_kiss2(std::string_view text, KissInfo* info) {
     if (static_cast<int>(p.outputs.size()) != num_outputs) {
       fail(p.line_no, "output pattern length != .o");
     }
-    intern_state(p.current);
+  }
+  // Two interning passes: states in order of first appearance as a
+  // *current* state, then any next-only states.  Synthesis is sensitive
+  // to state order, and to_kiss2 emits product blocks in index order, so
+  // current-first interning is what makes parse_kiss2(to_kiss2(t)) == t
+  // — the round-trip the content-addressed result cache relies on
+  // (interning next-states inline would reorder a state that is named as
+  // a successor before its own block).
+  for (const ProductLine& p : products) intern_state(p.current);
+  for (const ProductLine& p : products) {
     if (p.next != "*") intern_state(p.next);  // '*' = unspecified next
   }
   if (declared_states >= 0 && declared_states != static_cast<int>(state_order.size())) {

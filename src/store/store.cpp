@@ -90,15 +90,6 @@ int parse_int(const std::string& field, std::size_t line_no) {
   return static_cast<int>(v);
 }
 
-const char* cover_name(logic::CoverMode mode) {
-  switch (mode) {
-    case logic::CoverMode::kEssentialSop: return "essential-sop";
-    case logic::CoverMode::kGreedy: return "greedy";
-    case logic::CoverMode::kAllPrimes: return "all-primes";
-  }
-  return "unknown";
-}
-
 /// Metric columns compared by diff(); lower is better for every one.
 struct MetricRow {
   const char* name;
@@ -128,22 +119,10 @@ std::vector<MetricRow> metric_rows(const driver::JobResult& b,
 }  // namespace
 
 std::string describe(const core::SynthesisOptions& options) {
-  std::string s;
-  s += "fsv=";
-  s += options.add_fsv ? '1' : '0';
-  s += " minimize=";
-  s += options.minimize_states ? '1' : '0';
-  s += " factor=";
-  s += options.factor ? '1' : '0';
-  s += " consensus=";
-  s += options.consensus_repair ? '1' : '0';
-  s += " cover=";
-  s += cover_name(options.cover_mode);
-  s += " unique=";
-  s += options.assign.ensure_unique ? '1' : '0';
-  s += " assign-budget=" + std::to_string(options.assign.node_budget);
-  s += " reduce-budget=" + std::to_string(options.reduce.node_budget);
-  return s;
+  // One canonical spelling for "same synthesis configuration": the store
+  // identity line and the result-cache key (src/api) must never diverge,
+  // so both delegate to the versioned codec in src/core.
+  return core::options_to_string(options);
 }
 
 std::string describe(const driver::BatchOptions& options) {
@@ -202,11 +181,18 @@ StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
                 " (this build reads v" + std::to_string(kSchemaVersion) + ")");
   }
 
+  // Header block: every '#'-prefixed line up to the CSV header.  Known
+  // 'key: value' lines fill the identity; anything else — an unknown key,
+  // a free-form comment, a header shape from a newer minor version — is
+  // skipped, so a reader of this schema version stays forward compatible
+  // with files that carry extra header lines (the serve result cache
+  // reads entries written by older and newer builds alike).
   std::size_t i = 1;
-  for (; i < lines.size() && lines[i].rfind("# ", 0) == 0; ++i) {
+  for (; i < lines.size() && !lines[i].empty() && lines[i][0] == '#'; ++i) {
+    if (lines[i].rfind("# ", 0) != 0) continue;
     const std::string meta = lines[i].substr(2);
     const std::size_t colon = meta.find(": ");
-    if (colon == std::string::npos) fail(i, "metadata line without 'key: value'");
+    if (colon == std::string::npos) continue;
     const std::string key = meta.substr(0, colon);
     const std::string value = meta.substr(colon + 2);
     if (key == "corpus") {

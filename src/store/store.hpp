@@ -68,7 +68,10 @@ struct StoredReport {
 /// Identity + report in the versioned byte-stable format.
 [[nodiscard]] std::string serialize(const StoredReport& stored);
 /// Inverse of serialize; throws std::runtime_error naming the offending
-/// line on malformed input or a schema-version mismatch.
+/// line on malformed input or a schema-version mismatch.  Unrecognized
+/// '#' header lines (future keys, comments) are skipped, not errors —
+/// same-major forward compatibility for readers of older builds (the
+/// serve result cache reads entries across build generations).
 /// `tolerate_partial_tail` accepts the torn file a crashed shard worker
 /// leaves behind (rows are appended and flushed per job): a final row
 /// that is malformed or not newline-terminated is dropped instead of

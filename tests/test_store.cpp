@@ -257,6 +257,31 @@ TEST(StoreParse, ToleratesUnknownMetadataAndBlankLines) {
   EXPECT_EQ(reread.report.jobs[0].name, "a");
 }
 
+TEST(StoreParse, SkipsFutureHeaderLinesOfAnyShape) {
+  // The serve cache reads entries written by other build generations: a
+  // same-schema file carrying header lines this build has never heard of
+  // — keyed, free-form, or tightly packed — must parse, not error, and
+  // the known identity lines around them must still land.
+  StoredReport stored = make_stored({make_job("a")});
+  stored.identity.base_seed = 99;
+  std::string text = serialize(stored);
+  const std::size_t before_csv = text.find("name,status");
+  text.insert(before_csv,
+              "# cache-tier: warm\n"
+              "# written by a future seance build\n"
+              "#compact-future-flag\n");
+  const StoredReport reread = parse(text);
+  EXPECT_EQ(reread.identity.base_seed, 99u);
+  ASSERT_EQ(reread.report.jobs.size(), 1u);
+  EXPECT_EQ(reread.report.jobs[0].name, "a");
+  // Tolerance is for *header* shape only: a recognized key with a
+  // malformed value is still corruption and still throws.
+  std::string bad_seed = serialize(stored);
+  const std::size_t seed_at = bad_seed.find("# seed: 99");
+  bad_seed.replace(seed_at, 10, "# seed: xx");
+  EXPECT_THROW(parse(bad_seed), std::runtime_error);
+}
+
 TEST(Store, ShardIdentityRoundTripsAndIsOmittedWhenEmpty) {
   StoredReport stored = make_stored({make_job("a")});
   // Unsharded reports must keep their exact bytes: no shard line at all.
@@ -434,11 +459,15 @@ TEST(StoreMerge, TolerancesSurviveMergeAndDiff) {
 }
 
 TEST(StoreDescribe, PinnedSpellings) {
-  // These strings are persisted in golden files; changing them is a
-  // schema change and must bump kSchemaVersion.
+  // These strings are persisted in golden files and key the serve result
+  // cache; changing the synthesis spelling means bumping
+  // core::kOptionsEncodingVersion and regenerating the golden corpus.
   EXPECT_EQ(describe(core::SynthesisOptions{}),
-            "fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
-            "unique=1 assign-budget=500000 reduce-budget=1000000");
+            "v2 fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
+            "cover-budget=2000000 unique=1 assign-budget=500000 "
+            "reduce-budget=1000000");
+  EXPECT_EQ(describe(core::SynthesisOptions{}),
+            core::options_to_string(core::SynthesisOptions{}));
   EXPECT_EQ(describe(bench_suite::GeneratorOptions{}),
             "states=6 inputs=3 outputs=2 density=0.500000 mic-bias=0.700000");
   EXPECT_EQ(describe(driver::BatchOptions{}),

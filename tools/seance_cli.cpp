@@ -4,6 +4,12 @@
 //   seance batch [corpus options]
 //   seance baseline [corpus options] --out FILE
 //   seance diff BASELINE CURRENT [diff options]
+//   seance serve [serve options]
+//
+// Every subcommand re-enters the pipeline through the request/response
+// facade in src/api — this file owns flag parsing, process plumbing, and
+// report formatting, never a synthesis call of its own.  Run any
+// subcommand with --help for its generated option table.
 //
 // Batch mode runs a corpus (the Table-1 suite plus generated tables and
 // any KISS2 files) through the pipeline on a thread pool and prints a
@@ -11,6 +17,15 @@
 // the report (plus its corpus identity) in the regression-store format;
 // diff mode compares two stored reports and exits nonzero on drift —
 // together they are the golden-corpus gate CI runs on every push.
+//
+// Serve mode is the same pipeline as a long-lived service: a
+// line-delimited request protocol (see src/api/serve.hpp) on stdin/stdout
+// or a unix socket, answered from a content-addressed result cache —
+// warm tier pre-built from a stored golden report (`--warm`), an
+// in-memory LRU (`--cache-mem-mb`), and a disk store (`--cache-dir`) —
+// falling through to the pipeline on miss with write-back.  Batch's
+// `--emit-requests` writes a corpus as a protocol stream, so any stored
+// recipe doubles as a client workload.
 //
 // Sharded runs (batch and baseline, `--shards K`): the parent re-execs
 // itself as K worker processes (`--shard-worker i/K`, hidden), one per
@@ -25,57 +40,9 @@
 // worker's exit detail, and `--resume` re-runs only the shards whose
 // store file is missing or partial.
 //
-// Corpus options (batch and baseline):
-//   --jobs N           worker threads (default: hardware concurrency)
-//   --random N         generated tables (default 100)
-//   --hard N           extra generated tables at the hard canonical shape
-//                      (8 states / 4 inputs, driver::kHardShape; default 0)
-//   --harder N         extra generated tables at the harder canonical shape
-//                      (12 states / 5 inputs, driver::kHarderShape; default 0)
-//   --hardest N        extra generated tables at the hardest canonical shape
-//                      (20 states / 6 inputs, driver::kHardestShape; default 0)
-//   --states/--inputs/--outputs N   generator shape (default 6/3/2)
-//   --density D        generator transition density (default 0.5)
-//   --mic-bias B       generator MIC bias (default 0.7)
-//   --seed S           base seed for deterministic per-job seeds (default 1)
-//   --no-suite         skip the built-in Table-1 suite
-//   --extra            also run the extra regression suite
-//   --kiss-file F      add a KISS2 file as a job (repeatable)
-//   --no-ternary       skip the Eichelberger ternary pass
-//   --strict-ternary   fail jobs whose ternary pass flags (conservative!)
-//   --no-verify        skip the equation cross-check
-//   --timeout MS       per-job wall-clock budget; overruns record kTimeout
-//   --progress         stream per-job completion lines to stderr
-//   --shards K         run the corpus across K worker processes
-//   --shard-dir D      per-shard store files live here (default
-//                      .seance-shards); stable across runs so --resume works
-//   --resume           reuse complete shard files, re-run missing/partial ones
-//   --csv F            write the per-job report as CSV (batch only)
-//   --wall             include wall_ms in --csv (not byte-stable!)
-//   --out F            write the persisted regression store (baseline only)
-//   --quiet            totals line only
-// (--baseline/--no-minimize/--flat apply to every batch job too.)
-//
-// Diff options:
-//   --csv F            write the machine-readable delta table
-//   --tol-fl/--tol-var/--tol-depth/--tol-gates/--tol-states N
-//                      absolute per-metric drift tolerances (default 0)
-//   --quiet            verdict line only
 // Diff exit code: 0 clean, 1 drift or identity mismatch, 2 usage/IO error.
-//
-// Single-table options:
-//   --report           print codes, equations, hazard lists (default)
-//   --verilog <file>   write structural Verilog of the FANTOM network
-//   --kiss <file>      write the (reduced) flow table back as KISS2
-//   --verify           run the static ternary verification and the
-//                      gate-level random-walk simulation
-//   --walk <steps>     number of simulated handshakes for --verify (default 500)
-//   --baseline         synthesize without fsv (classic machine)
-//   --no-minimize      skip step 2 (state minimization)
-//   --flat             skip step 7 factoring (two-level SOP)
-//   --quiet            suppress the report
-//
-// Exit code: 0 on success (and, with --verify, zero failures), 1 otherwise.
+// Other exit codes: 0 on success (and, with --verify, zero failures), 1
+// otherwise.
 
 #include <algorithm>
 #include <chrono>
@@ -83,8 +50,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 #include <cerrno>
@@ -97,35 +66,34 @@
 #define SEANCE_HAS_SHARD_EXEC 1
 #endif
 
+#include "api/api.hpp"
+#include "api/cache.hpp"
+#include "api/serve.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "core/synthesize.hpp"
 #include "driver/batch.hpp"
 #include "driver/shard.hpp"
 #include "flowtable/kiss.hpp"
 #include "netlist/netlist.hpp"
+#include "option_table.hpp"
 #include "sim/harness.hpp"
 #include "sim/ternary_verify.hpp"
 #include "store/store.hpp"
 
 namespace {
 
+using seance::cli::OptionTable;
+using seance::cli::ParseResult;
+
 void usage() {
   std::printf(
-      "usage: seance <table.kiss2 | benchmark-name> [--report] [--verilog F]\n"
-      "              [--kiss F] [--verify] [--walk N] [--baseline]\n"
-      "              [--no-minimize] [--flat] [--quiet]\n"
-      "       seance batch [--jobs N] [--random N] [--hard N] [--harder N]\n"
-      "              [--hardest N]\n"
-      "              [--states N] [--inputs N]\n"
-      "              [--outputs N] [--density D] [--mic-bias B] [--seed S]\n"
-      "              [--no-suite] [--extra] [--kiss-file F] [--no-ternary]\n"
-      "              [--strict-ternary] [--no-verify] [--timeout MS]\n"
-      "              [--progress] [--shards K] [--shard-dir D] [--resume]\n"
-      "              [--csv F] [--wall] [--baseline]\n"
-      "              [--no-minimize] [--flat] [--quiet]\n"
-      "       seance baseline [corpus options as for batch] --out F\n"
-      "       seance diff BASELINE CURRENT [--csv F] [--tol-fl N] [--tol-var N]\n"
-      "              [--tol-depth N] [--tol-gates N] [--tol-states N] [--quiet]\n"
+      "usage: seance <table.kiss2 | benchmark-name> [options]\n"
+      "       seance batch [corpus options]\n"
+      "       seance baseline [corpus options] --out FILE\n"
+      "       seance diff BASELINE CURRENT [diff options]\n"
+      "       seance serve [serve options]\n"
+      "run `seance <subcommand> --help` (or `seance --help <name>`) for the\n"
+      "option table of each mode.\n"
       "built-in benchmarks:");
   for (const auto& b : seance::bench_suite::table1_suite()) {
     std::printf(" %s", b.name.c_str());
@@ -136,8 +104,8 @@ void usage() {
   std::printf("\n");
 }
 
-/// Everything `batch` and `baseline` share: the corpus recipe, the run
-/// options, and the output knobs.
+/// Everything `batch`, `baseline`, and `serve` share: the corpus recipe,
+/// the run options, and the output knobs.
 struct CorpusFlags {
   seance::driver::BatchOptions options;
   seance::bench_suite::GeneratorOptions gen;
@@ -150,8 +118,9 @@ struct CorpusFlags {
   bool quiet = false;
   bool progress = false;
   bool wall = false;
-  std::string csv_path;  ///< batch: raw CSV report
-  std::string out_path;  ///< baseline: persisted regression store
+  std::string csv_path;   ///< batch: raw CSV report
+  std::string out_path;   ///< baseline: persisted regression store
+  std::string emit_path;  ///< batch: serve-protocol request stream
   std::vector<std::string> kiss_files;
 
   // Sharded execution (batch and baseline).
@@ -159,7 +128,7 @@ struct CorpusFlags {
   std::string shard_dir = ".seance-shards";  ///< per-shard store files
   bool resume = false;  ///< reuse complete shard files, re-run the rest
   // Worker-protocol flags, set by the orchestrator when it re-execs
-  // itself (hidden from usage()).
+  // itself (hidden from --help).
   int shard_worker = -1;  ///< this process runs slice shard_worker...
   int shard_total = 0;    ///< ...of a shard_total-way ShardPlan
   std::string shard_out;  ///< where the worker streams its store
@@ -168,138 +137,127 @@ struct CorpusFlags {
   long die_after = -1;
 };
 
-/// Parses argv[2..] into `flags`; `baseline_mode` additionally accepts
-/// --out.  Returns false (after printing the reason) on a malformed line.
-bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
-                        CorpusFlags& flags) {
-  bool parse_error = false;
-  for (int i = 2; i < argc && !parse_error; ++i) {
-    const std::string arg = argv[i];
-    // Valued options demand a well-formed value: a missing or non-numeric
-    // one is an error, never a silent fallback (and never eats the next
-    // flag as its value).
-    auto next_value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::printf("option %s requires a value\n", arg.c_str());
-        parse_error = true;
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    auto parse_num = [&](auto& out, auto convert) {
-      const char* v = next_value();
-      if (!v) return;
-      char* end = nullptr;
-      const auto n = convert(v, &end);
-      if (end == v || *end != '\0') {
-        std::printf("option %s needs a number, got '%s'\n", arg.c_str(), v);
-        parse_error = true;
-        return;
-      }
-      out = static_cast<std::remove_reference_t<decltype(out)>>(n);
-    };
-    auto next_int = [&](auto& out) {
-      parse_num(out, [](const char* s, char** e) { return std::strtol(s, e, 10); });
-    };
-    auto next_double = [&](auto& out) {
-      parse_num(out, [](const char* s, char** e) { return std::strtod(s, e); });
-    };
-    if (arg == "--jobs") {
-      next_int(flags.options.threads);
-    } else if (arg == "--shards") {
-      next_int(flags.shards);
-      if (!parse_error && flags.shards < 0) {
-        std::printf("option --shards needs a non-negative count\n");
-        parse_error = true;
-      }
-    } else if (arg == "--random") {
-      next_int(flags.random_count);
-    } else if (arg == "--hard") {
-      next_int(flags.hard_count);
-    } else if (arg == "--harder") {
-      next_int(flags.harder_count);
-    } else if (arg == "--hardest") {
-      next_int(flags.hardest_count);
-    } else if (arg == "--states") {
-      next_int(flags.gen.num_states);
-    } else if (arg == "--inputs") {
-      next_int(flags.gen.num_inputs);
-    } else if (arg == "--outputs") {
-      next_int(flags.gen.num_outputs);
-    } else if (arg == "--density") {
-      next_double(flags.gen.transition_density);
-    } else if (arg == "--mic-bias") {
-      next_double(flags.gen.mic_bias);
-    } else if (arg == "--seed") {
-      parse_num(flags.gen.seed,
-                [](const char* s, char** e) { return std::strtoull(s, e, 10); });
-    } else if (arg == "--no-suite") {
-      flags.suite = false;
-    } else if (arg == "--extra") {
-      flags.extra = true;
-    } else if (arg == "--kiss-file") {
-      if (const char* v = next_value()) flags.kiss_files.emplace_back(v);
-    } else if (arg == "--no-ternary") {
-      flags.options.ternary = false;
-    } else if (arg == "--strict-ternary") {
-      flags.options.ternary_strict = true;
-    } else if (arg == "--no-verify") {
-      flags.options.verify = false;
-    } else if (arg == "--timeout") {
-      next_double(flags.options.job_timeout_ms);
-    } else if (arg == "--progress") {
-      flags.progress = true;
-    } else if (arg == "--shard-dir") {
-      if (const char* v = next_value()) flags.shard_dir = v;
-    } else if (arg == "--resume") {
-      flags.resume = true;
-    } else if (arg == "--shard-worker") {
-      // Hidden worker-protocol flag, value "i/K" (set by the orchestrator).
-      if (const char* v = next_value()) {
-        char* end = nullptr;
-        const long index = std::strtol(v, &end, 10);
-        char* end2 = nullptr;
-        const long total =
-            *end == '/' ? std::strtol(end + 1, &end2, 10) : 0;
-        if (end == v || *end != '/' || end2 == end + 1 || *end2 != '\0' ||
-            index < 0 || total < 1 || index >= total) {
-          std::printf("option --shard-worker needs i/K, got '%s'\n", v);
-          parse_error = true;
-        } else {
-          flags.shard_worker = static_cast<int>(index);
-          flags.shard_total = static_cast<int>(total);
-        }
-      }
-    } else if (arg == "--shard-out") {
-      if (const char* v = next_value()) flags.shard_out = v;
-    } else if (arg == "--shard-worker-die-after") {
-      next_int(flags.die_after);
-    } else if (arg == "--csv" && !baseline_mode) {
-      if (const char* v = next_value()) flags.csv_path = v;
-    } else if (arg == "--wall" && !baseline_mode) {
-      flags.wall = true;
-    } else if (arg == "--out" && baseline_mode) {
-      if (const char* v = next_value()) flags.out_path = v;
-    } else if (arg == "--baseline") {
-      flags.options.synthesis.add_fsv = false;
-    } else if (arg == "--no-minimize") {
-      flags.options.synthesis.minimize_states = false;
-    } else if (arg == "--flat") {
-      flags.options.synthesis.factor = false;
-    } else if (arg == "--quiet") {
-      flags.quiet = true;
-    } else {
-      std::printf("unknown %s option %s\n", baseline_mode ? "baseline" : "batch",
-                  arg.c_str());
-      parse_error = true;
-    }
+seance::api::CorpusRequest corpus_request(const CorpusFlags& flags) {
+  seance::api::CorpusRequest request;
+  request.options = flags.options;
+  request.gen = flags.gen;
+  request.random_count = flags.random_count;
+  request.hard_count = flags.hard_count;
+  request.harder_count = flags.harder_count;
+  request.hardest_count = flags.hardest_count;
+  request.suite = flags.suite;
+  request.extra = flags.extra;
+  request.kiss_files = flags.kiss_files;
+  return request;
+}
+
+void add_recipe_options(OptionTable& table, CorpusFlags& flags) {
+  table.number("--random", "N", "generated tables (default 100)",
+               &flags.random_count);
+  table.number("--hard", "N",
+               "extra generated tables at the hard canonical shape "
+               "(8 states / 4 inputs; default 0)",
+               &flags.hard_count);
+  table.number("--harder", "N",
+               "extra generated tables at the harder canonical shape "
+               "(12 states / 5 inputs; default 0)",
+               &flags.harder_count);
+  table.number("--hardest", "N",
+               "extra generated tables at the hardest canonical shape "
+               "(20 states / 6 inputs; default 0)",
+               &flags.hardest_count);
+  table.number("--states", "N", "generator states (default 6)",
+               &flags.gen.num_states);
+  table.number("--inputs", "N", "generator inputs (default 3)",
+               &flags.gen.num_inputs);
+  table.number("--outputs", "N", "generator outputs (default 2)",
+               &flags.gen.num_outputs);
+  table.number("--density", "D", "generator transition density (default 0.5)",
+               &flags.gen.transition_density);
+  table.number("--mic-bias", "B", "generator MIC bias (default 0.7)",
+               &flags.gen.mic_bias);
+  table.number("--seed", "S",
+               "base seed for deterministic per-job seeds (default 1)",
+               &flags.gen.seed);
+  table.flag("--no-suite", "skip the built-in Table-1 suite", &flags.suite,
+             false);
+  table.flag("--extra", "also run the extra regression suite", &flags.extra);
+  table.each("--kiss-file", "FILE", "add a KISS2 file as a job (repeatable)",
+             &flags.kiss_files);
+}
+
+void add_check_options(OptionTable& table, CorpusFlags& flags) {
+  table.flag("--no-ternary", "skip the Eichelberger ternary pass",
+             &flags.options.ternary, false);
+  table.flag("--strict-ternary",
+             "fail jobs whose ternary pass flags (conservative!)",
+             &flags.options.ternary_strict);
+  table.flag("--no-verify", "skip the equation cross-check",
+             &flags.options.verify, false);
+  table.number("--timeout", "MS",
+               "per-job wall-clock budget; overruns record kTimeout",
+               &flags.options.job_timeout_ms);
+}
+
+void add_synthesis_options(OptionTable& table,
+                           seance::core::SynthesisOptions& options) {
+  table.flag("--baseline", "synthesize without fsv (classic machine)",
+             &options.add_fsv, false);
+  table.flag("--no-minimize", "skip step 2 (state minimization)",
+             &options.minimize_states, false);
+  table.flag("--flat", "skip step 7 factoring (two-level SOP)",
+             &options.factor, false);
+}
+
+void add_run_options(OptionTable& table, CorpusFlags& flags) {
+  table.number("--jobs", "N", "worker threads (default: hardware concurrency)",
+               &flags.options.threads);
+  table.flag("--progress", "stream per-job completion lines to stderr",
+             &flags.progress);
+  table.number("--shards", "K", "run the corpus across K worker processes",
+               &flags.shards);
+  table.text("--shard-dir", "DIR",
+             "per-shard store files live here (default .seance-shards); "
+             "stable across runs so --resume works",
+             &flags.shard_dir);
+  table.flag("--resume", "reuse complete shard files, re-run missing/partial",
+             &flags.resume);
+  table
+      .custom("--shard-worker", "i/K", "",
+              [&flags](const std::string& v) {
+                char* end = nullptr;
+                const long index = std::strtol(v.c_str(), &end, 10);
+                char* end2 = nullptr;
+                const long total =
+                    *end == '/' ? std::strtol(end + 1, &end2, 10) : 0;
+                if (end == v.c_str() || *end != '/' || end2 == end + 1 ||
+                    *end2 != '\0' || index < 0 || total < 1 || index >= total) {
+                  std::printf("option --shard-worker needs i/K, got '%s'\n",
+                              v.c_str());
+                  return false;
+                }
+                flags.shard_worker = static_cast<int>(index);
+                flags.shard_total = static_cast<int>(total);
+                return true;
+              })
+      .hidden();
+  table.text("--shard-out", "FILE", "", &flags.shard_out).hidden();
+  table.number("--shard-worker-die-after", "N", "", &flags.die_after).hidden();
+  table.flag("--quiet", "totals line only", &flags.quiet);
+}
+
+/// Post-parse validation and the --progress hook, shared by batch and
+/// baseline.  Returns false (after printing why) on an inconsistent line.
+bool finish_corpus_flags(CorpusFlags& flags) {
+  if (flags.shards < 0) {
+    std::printf("option --shards needs a non-negative count\n");
+    return false;
   }
-  if (!parse_error && flags.resume && flags.shards <= 0 &&
-      flags.shard_worker < 0) {
+  if (flags.resume && flags.shards <= 0 && flags.shard_worker < 0) {
     // A forgotten --shards must not silently downgrade a resume into a
     // full in-process re-run that ignores the healthy shard files.
     std::printf("--resume requires --shards K\n");
-    parse_error = true;
+    return false;
   }
   if (flags.progress) {
     flags.options.on_result = [](const seance::driver::JobResult& r,
@@ -309,85 +267,19 @@ bool parse_corpus_flags(int argc, char** argv, bool baseline_mode,
                    r.wall_ms);
     };
   }
-  return !parse_error;
+  return true;
 }
 
-/// Fills the runner from the recipe; returns false after printing the
-/// reason when the corpus cannot be built or is empty.
-bool build_corpus(seance::driver::BatchRunner& runner, const CorpusFlags& flags) {
+/// corpus_jobs through the facade with CLI-shaped error reporting.
+bool load_corpus_jobs(const CorpusFlags& flags,
+                      std::vector<seance::driver::JobSpec>& jobs) {
   try {
-    if (flags.suite) runner.add_table1_suite();
-    if (flags.extra) runner.add_extra_suite();
-    for (const auto& path : flags.kiss_files) runner.add_kiss_file(path);
-    if (flags.random_count > 0) runner.add_generated(flags.random_count, flags.gen);
-    if (flags.hard_count > 0) {
-      runner.add_hard_generated(flags.hard_count, flags.gen.seed);
-    }
-    if (flags.harder_count > 0) {
-      runner.add_harder_generated(flags.harder_count, flags.gen.seed);
-    }
-    if (flags.hardest_count > 0) {
-      runner.add_hardest_generated(flags.hardest_count, flags.gen.seed);
-    }
+    jobs = seance::api::corpus_jobs(corpus_request(flags));
   } catch (const std::exception& e) {
     std::printf("corpus error: %s\n", e.what());
     return false;
   }
-  if (runner.job_count() == 0) {
-    std::printf("batch: empty corpus\n");
-    return false;
-  }
   return true;
-}
-
-/// FNV-1a over a file's bytes, spelled as 16 hex digits; "unreadable" if
-/// the file cannot be opened.  Folded into the corpus identity so two
-/// runs over the same KISS2 *path* with different *contents* can never
-/// compare as identical — in particular, --resume must not reuse a shard
-/// file produced from an edited input.
-std::string kiss_fingerprint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return "unreadable";
-  std::uint64_t hash = 1469598103934665603ull;
-  char buffer[4096];
-  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
-    for (std::streamsize i = 0; i < in.gcount(); ++i) {
-      hash ^= static_cast<unsigned char>(buffer[i]);
-      hash *= 1099511628211ull;
-    }
-  }
-  char hex[17];
-  std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return hex;
-}
-
-seance::store::CorpusIdentity make_identity(const CorpusFlags& flags) {
-  seance::store::CorpusIdentity identity;
-  identity.base_seed = flags.gen.seed;
-  identity.checks = seance::store::describe(flags.options);
-  identity.synthesis = seance::store::describe(flags.options.synthesis);
-  identity.generator = seance::store::describe(flags.gen);
-  std::string corpus;
-  const auto append = [&](const std::string& part) {
-    if (!corpus.empty()) corpus += '+';
-    corpus += part;
-  };
-  if (flags.suite) append("table1");
-  if (flags.extra) append("extra");
-  for (const auto& path : flags.kiss_files) {
-    append("kiss:" + path + "@" + kiss_fingerprint(path));
-  }
-  if (flags.random_count > 0) append("gen" + std::to_string(flags.random_count));
-  if (flags.hard_count > 0) append("hard" + std::to_string(flags.hard_count));
-  if (flags.harder_count > 0) {
-    append("harder" + std::to_string(flags.harder_count));
-  }
-  if (flags.hardest_count > 0) {
-    append("hardest" + std::to_string(flags.hardest_count));
-  }
-  identity.corpus = corpus;
-  return identity;
 }
 
 /// Worker half of the shard protocol: rebuild the full corpus from the
@@ -400,10 +292,10 @@ int run_shard_worker(const CorpusFlags& flags) {
     std::printf("shard-worker: --shard-out FILE is required\n");
     return 2;
   }
-  seance::driver::BatchRunner corpus(flags.options);
-  if (!build_corpus(corpus, flags)) return 2;
+  std::vector<seance::driver::JobSpec> corpus;
+  if (!load_corpus_jobs(flags, corpus)) return 2;
   const auto plan = seance::driver::ShardPlan::round_robin(
-      corpus.job_count(), flags.shard_total);
+      static_cast<int>(corpus.size()), flags.shard_total);
   const auto& slice = plan.slices[static_cast<std::size_t>(flags.shard_worker)];
 
   std::ofstream out(flags.shard_out, std::ios::binary | std::ios::trunc);
@@ -412,7 +304,7 @@ int run_shard_worker(const CorpusFlags& flags) {
     return 2;
   }
   seance::store::StoredReport header;
-  header.identity = make_identity(flags);
+  header.identity = seance::api::corpus_identity(corpus_request(flags));
   header.identity.shard = std::to_string(flags.shard_worker) + "/" +
                           std::to_string(flags.shard_total);
   out << seance::store::serialize(header);  // metadata + CSV header
@@ -432,11 +324,13 @@ int run_shard_worker(const CorpusFlags& flags) {
     out.flush();
     if (user_progress) user_progress(r, completed, total);
   };
-  seance::driver::BatchRunner runner(options);
+  std::vector<seance::driver::JobSpec> jobs;
+  jobs.reserve(slice.size());
   for (const int job : slice) {
-    runner.add(corpus.jobs()[static_cast<std::size_t>(job)]);
+    jobs.push_back(corpus[static_cast<std::size_t>(job)]);
   }
-  (void)runner.run();  // job failures live in the store; exit says "ran"
+  // Job failures live in the store; the exit code says "ran".
+  (void)seance::api::run_jobs(std::move(jobs), options);
   out.flush();
   return out ? 0 : 2;
 }
@@ -462,7 +356,8 @@ std::vector<std::string> forwarded_corpus_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--shards" || arg == "--shard-dir" || arg == "--csv" ||
         arg == "--out" || arg == "--jobs" || arg == "--shard-worker" ||
-        arg == "--shard-out" || arg == "--shard-worker-die-after") {
+        arg == "--shard-out" || arg == "--shard-worker-die-after" ||
+        arg == "--emit-requests") {
       if (i + 1 < argc) ++i;
       continue;
     }
@@ -537,12 +432,12 @@ int run_sharded(int argc, char** argv, const CorpusFlags& flags,
   };
   const auto run_start = Clock::now();
 
-  seance::driver::BatchRunner corpus(flags.options);
-  if (!build_corpus(corpus, flags)) return 1;
+  std::vector<seance::driver::JobSpec> corpus;
+  if (!load_corpus_jobs(flags, corpus)) return 1;
   std::vector<std::string> names;
-  names.reserve(static_cast<std::size_t>(corpus.job_count()));
+  names.reserve(corpus.size());
   std::unordered_set<std::string> seen;
-  for (const auto& spec : corpus.jobs()) {
+  for (const auto& spec : corpus) {
     if (!seen.insert(spec.name).second) {
       std::printf("sharding requires unique job names (duplicate '%s')\n",
                   spec.name.c_str());
@@ -552,9 +447,9 @@ int run_sharded(int argc, char** argv, const CorpusFlags& flags,
   }
 
   const int K = flags.shards;
-  const auto plan =
-      seance::driver::ShardPlan::round_robin(corpus.job_count(), K);
-  const auto identity = make_identity(flags);
+  const auto plan = seance::driver::ShardPlan::round_robin(
+      static_cast<int>(corpus.size()), K);
+  const auto identity = seance::api::corpus_identity(corpus_request(flags));
 
   std::error_code ec;
   std::filesystem::create_directories(flags.shard_dir, ec);
@@ -707,13 +602,64 @@ int run_sharded(int argc, char** argv, const CorpusFlags& flags,
 #endif  // SEANCE_HAS_SHARD_EXEC
 }
 
+/// batch --emit-requests: the corpus as a serve-protocol request stream
+/// — any stored recipe becomes a replayable client workload (the CI
+/// serve-smoke step drives the server with exactly this output).
+int emit_requests(const CorpusFlags& flags, const std::string& path) {
+  std::vector<seance::driver::JobSpec> jobs;
+  if (!load_corpus_jobs(flags, jobs)) return 1;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::printf("error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  for (const auto& spec : jobs) {
+    // Canonical to_kiss2 bytes, so these requests hit the same cache
+    // entries as any other client sending canonical serializations.
+    const std::string kiss = seance::flowtable::to_kiss2(spec.table);
+    const auto lines = std::count(kiss.begin(), kiss.end(), '\n');
+    out << "REQ " << spec.name << "\n"
+        << "OPT " << seance::core::options_to_string(spec.options) << "\n"
+        << "TABLE " << lines << "\n"
+        << kiss << "END\n";
+  }
+  out.flush();
+  if (!out) {
+    std::printf("error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  if (!flags.quiet) {
+    std::printf("wrote %zu requests to %s\n", jobs.size(), path.c_str());
+  }
+  return 0;
+}
+
 int run_batch(int argc, char** argv) {
   CorpusFlags flags;
-  if (!parse_corpus_flags(argc, argv, /*baseline_mode=*/false, flags)) {
+  OptionTable table("batch");
+  table.synopsis("usage: seance batch [corpus options]");
+  add_run_options(table, flags);
+  add_recipe_options(table, flags);
+  add_check_options(table, flags);
+  add_synthesis_options(table, flags.options.synthesis);
+  table.text("--csv", "FILE", "write the per-job report as CSV",
+             &flags.csv_path);
+  table.flag("--wall", "include wall_ms in --csv (not byte-stable!)",
+             &flags.wall);
+  table.text("--emit-requests", "FILE",
+             "write the corpus as a serve-protocol request stream and exit",
+             &flags.emit_path);
+  switch (table.parse(argc, argv, 2)) {
+    case ParseResult::kHelp: return 0;
+    case ParseResult::kError: usage(); return 1;
+    case ParseResult::kOk: break;
+  }
+  if (!finish_corpus_flags(flags)) {
     usage();
     return 1;
   }
   if (flags.shard_worker >= 0) return run_shard_worker(flags);
+  if (!flags.emit_path.empty()) return emit_requests(flags, flags.emit_path);
 
   seance::driver::BatchReport report;
   if (flags.shards > 0) {
@@ -729,9 +675,12 @@ int run_batch(int argc, char** argv) {
     if (rc != 0) return rc;
     report = std::move(merged.report);
   } else {
-    seance::driver::BatchRunner runner(flags.options);
-    if (!build_corpus(runner, flags)) return 1;
-    report = runner.run();
+    try {
+      report = seance::api::run_corpus(corpus_request(flags));
+    } catch (const std::exception& e) {
+      std::printf("corpus error: %s\n", e.what());
+      return 1;
+    }
   }
   std::printf("%s", report.summary(/*per_job=*/!flags.quiet).c_str());
   if (!flags.csv_path.empty()) {
@@ -748,7 +697,20 @@ int run_batch(int argc, char** argv) {
 
 int run_baseline(int argc, char** argv) {
   CorpusFlags flags;
-  if (!parse_corpus_flags(argc, argv, /*baseline_mode=*/true, flags)) {
+  OptionTable table("baseline");
+  table.synopsis("usage: seance baseline [corpus options] --out FILE");
+  add_run_options(table, flags);
+  add_recipe_options(table, flags);
+  add_check_options(table, flags);
+  add_synthesis_options(table, flags.options.synthesis);
+  table.text("--out", "FILE", "write the persisted regression store (required)",
+             &flags.out_path);
+  switch (table.parse(argc, argv, 2)) {
+    case ParseResult::kHelp: return 0;
+    case ParseResult::kError: usage(); return 1;
+    case ParseResult::kOk: break;
+  }
+  if (!finish_corpus_flags(flags)) {
     usage();
     return 1;
   }
@@ -764,10 +726,13 @@ int run_baseline(int argc, char** argv) {
     const int rc = run_sharded(argc, argv, flags, stored);
     if (rc != 0) return rc;
   } else {
-    seance::driver::BatchRunner runner(flags.options);
-    if (!build_corpus(runner, flags)) return 1;
-    stored.identity = make_identity(flags);
-    stored.report = runner.run();
+    try {
+      stored.identity = seance::api::corpus_identity(corpus_request(flags));
+      stored.report = seance::api::run_corpus(corpus_request(flags));
+    } catch (const std::exception& e) {
+      std::printf("corpus error: %s\n", e.what());
+      return 1;
+    }
   }
   std::printf("%s", stored.report.summary(/*per_job=*/!flags.quiet).c_str());
   try {
@@ -788,58 +753,33 @@ int run_baseline(int argc, char** argv) {
 }
 
 int run_diff(int argc, char** argv) {
-  std::vector<std::string> paths;
   seance::store::DiffOptions options;
   std::string csv_path;
   bool quiet = false;
+  std::vector<std::string> paths;
 
-  bool parse_error = false;
-  for (int i = 2; i < argc && !parse_error; ++i) {
-    const std::string arg = argv[i];
-    auto next_int = [&](int& out) {
-      if (i + 1 >= argc) {
-        std::printf("option %s requires a value\n", arg.c_str());
-        parse_error = true;
-        return;
-      }
-      const char* v = argv[++i];
-      char* end = nullptr;
-      const long n = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0') {
-        std::printf("option %s needs a number, got '%s'\n", arg.c_str(), v);
-        parse_error = true;
-        return;
-      }
-      out = static_cast<int>(n);
-    };
-    if (arg == "--csv") {
-      if (i + 1 >= argc) {
-        std::printf("option --csv requires a value\n");
-        parse_error = true;
-      } else {
-        csv_path = argv[++i];
-      }
-    } else if (arg == "--tol-fl") {
-      next_int(options.fl_tolerance);
-    } else if (arg == "--tol-var") {
-      next_int(options.var_tolerance);
-    } else if (arg == "--tol-depth") {
-      next_int(options.depth_tolerance);
-    } else if (arg == "--tol-gates") {
-      next_int(options.gate_tolerance);
-    } else if (arg == "--tol-states") {
-      next_int(options.state_var_tolerance);
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::printf("unknown diff option %s\n", arg.c_str());
-      parse_error = true;
-    } else {
-      paths.push_back(arg);
-    }
+  OptionTable table("diff");
+  table.synopsis("usage: seance diff BASELINE CURRENT [diff options]");
+  table.text("--csv", "FILE", "write the machine-readable delta table",
+             &csv_path);
+  table.number("--tol-fl", "N", "absolute fl_hazards drift tolerance",
+               &options.fl_tolerance);
+  table.number("--tol-var", "N", "absolute var_hazards drift tolerance",
+               &options.var_tolerance);
+  table.number("--tol-depth", "N", "absolute depth drift tolerance",
+               &options.depth_tolerance);
+  table.number("--tol-gates", "N", "absolute gate-count drift tolerance",
+               &options.gate_tolerance);
+  table.number("--tol-states", "N", "absolute state-var drift tolerance",
+               &options.state_var_tolerance);
+  table.flag("--quiet", "verdict line only", &quiet);
+  switch (table.parse(argc, argv, 2, &paths)) {
+    case ParseResult::kHelp: return 0;
+    case ParseResult::kError: usage(); return 2;
+    case ParseResult::kOk: break;
   }
-  if (parse_error || paths.size() != 2) {
-    if (!parse_error) std::printf("diff: expected BASELINE and CURRENT paths\n");
+  if (paths.size() != 2) {
+    std::printf("diff: expected BASELINE and CURRENT paths\n");
     usage();
     return 2;
   }
@@ -874,83 +814,229 @@ int run_diff(int argc, char** argv) {
   return report.clean() ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage();
+/// Loads a stored report into the cache's warm tier.  The store's
+/// identity must match the corpus recipe flags exactly — the rows are
+/// keyed by rebuilding the recipe's job specs, so a mismatched store
+/// would warm-cache wrong answers.  Serve-mode notes go to stderr:
+/// stdout is the protocol stream.
+int load_warm_tier(seance::api::ResultCache& cache, const CorpusFlags& flags,
+                   const std::string& path, bool quiet) {
+  seance::store::StoredReport stored;
+  try {
+    stored = seance::store::load(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  if (std::strcmp(argv[1], "batch") == 0) {
-    return run_batch(argc, argv);
+  const auto request = corpus_request(flags);
+  const auto mismatches = seance::store::identity_mismatches(
+      seance::api::corpus_identity(request), stored.identity,
+      /*ignore_shard=*/true);
+  if (!mismatches.empty()) {
+    std::fprintf(stderr,
+                 "warm store %s does not match the corpus recipe flags:\n",
+                 path.c_str());
+    for (const auto& m : mismatches) std::fprintf(stderr, "  %s\n", m.c_str());
+    return 1;
   }
-  if (std::strcmp(argv[1], "baseline") == 0) {
-    return run_baseline(argc, argv);
+  std::vector<seance::driver::JobSpec> jobs;
+  try {
+    jobs = seance::api::corpus_jobs(request);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "corpus error: %s\n", e.what());
+    return 1;
   }
-  if (std::strcmp(argv[1], "diff") == 0) {
-    return run_diff(argc, argv);
+  std::unordered_map<std::string, const seance::driver::JobSpec*> by_name;
+  for (const auto& spec : jobs) by_name[spec.name] = &spec;
+  int warmed = 0;
+  int skipped = 0;
+  for (const auto& row : stored.report.jobs) {
+    const auto it = by_name.find(row.name);
+    if (it == by_name.end() ||
+        row.status == seance::driver::JobStatus::kTimeout ||
+        row.status == seance::driver::JobStatus::kCrashed) {
+      ++skipped;  // unknown job, or a machine-dependent verdict
+      continue;
+    }
+    seance::api::SynthesisRequest req;
+    req.name = row.name;
+    req.table = it->second->table;
+    req.options = it->second->options;
+    req.verify = flags.options.verify;
+    req.ternary = flags.options.ternary;
+    req.ternary_strict = flags.options.ternary_strict;
+    req.timeout_ms = flags.options.job_timeout_ms;
+    cache.warm_insert(seance::api::cache_key(req), row);
+    ++warmed;
   }
-  std::string target;
+  if (!quiet) {
+    std::fprintf(stderr, "serve: warm tier %d entries from %s (%d skipped)\n",
+                 warmed, path.c_str(), skipped);
+  }
+  return 0;
+}
+
+int run_serve(int argc, char** argv) {
+  CorpusFlags flags;
+  std::string cache_dir = ".seance-cache";
+  bool no_disk = false;
+  double cache_mem_mb = 64.0;
+  std::string warm_path;
+  std::string socket_path;
+  bool quiet = false;
+
+  OptionTable table("serve");
+  table.synopsis(
+      "usage: seance serve [serve options]\n"
+      "line-delimited request protocol on stdin/stdout (or --socket); see\n"
+      "README \"Serve mode & result cache\" for the grammar");
+  table.text("--cache-dir", "DIR",
+             "on-disk result cache directory (default .seance-cache)",
+             &cache_dir);
+  table.flag("--no-disk-cache", "disable the on-disk cache tier", &no_disk);
+  table.number("--cache-mem-mb", "N",
+               "in-memory LRU budget in MiB; 0 disables (default 64)",
+               &cache_mem_mb);
+  table.text("--warm", "FILE",
+             "pre-warm from a stored report; pass the corpus recipe flags "
+             "that produced it",
+             &warm_path);
+  table.text("--socket", "PATH",
+             "serve a unix-domain socket instead of stdin/stdout",
+             &socket_path);
+  table.flag("--quiet", "suppress startup/shutdown notes on stderr", &quiet);
+  add_check_options(table, flags);
+  add_synthesis_options(table, flags.options.synthesis);
+  add_recipe_options(table, flags);
+  switch (table.parse(argc, argv, 2)) {
+    case ParseResult::kHelp: return 0;
+    case ParseResult::kError: usage(); return 1;
+    case ParseResult::kOk: break;
+  }
+  if (cache_mem_mb < 0) {
+    std::printf("option --cache-mem-mb needs a non-negative number\n");
+    return 1;
+  }
+
+  seance::api::CacheConfig cache_config;
+  cache_config.dir = no_disk ? std::string() : cache_dir;
+  cache_config.mem_limit_bytes =
+      static_cast<std::size_t>(cache_mem_mb * 1024.0 * 1024.0);
+  seance::api::ResultCache cache(cache_config);
+  if (!warm_path.empty()) {
+    const int rc = load_warm_tier(cache, flags, warm_path, quiet);
+    if (rc != 0) return rc;
+  }
+  cache.warm_seal();
+
+  seance::api::ServeConfig config;
+  config.options = flags.options.synthesis;
+  config.verify = flags.options.verify;
+  config.ternary = flags.options.ternary;
+  config.ternary_strict = flags.options.ternary_strict;
+  config.timeout_ms = flags.options.job_timeout_ms;
+
+  if (!quiet) {
+    std::fprintf(stderr, "serve: disk %s, mem budget %zu bytes, warm %zu\n",
+                 cache_config.dir.empty() ? "(off)" : cache_config.dir.c_str(),
+                 cache_config.mem_limit_bytes, cache.stats().warm_entries);
+  }
+  seance::api::ServeStats stats;
+  if (!socket_path.empty()) {
+#if defined(__unix__) || defined(__APPLE__)
+    try {
+      stats = seance::api::serve_unix_socket(socket_path, config, &cache);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+#else
+    std::printf("--socket needs unix sockets, unavailable on this platform\n");
+    return 1;
+#endif
+  } else {
+    stats = seance::api::serve(std::cin, std::cout, config, &cache);
+  }
+  if (!quiet) {
+    const auto& c = cache.stats();
+    std::fprintf(stderr,
+                 "serve: %llu requests (%llu errors), %llu hits "
+                 "(%llu warm), %llu misses, %llu stale\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.errors),
+                 static_cast<unsigned long long>(c.hits),
+                 static_cast<unsigned long long>(c.warm_hits),
+                 static_cast<unsigned long long>(c.misses),
+                 static_cast<unsigned long long>(c.stale));
+  }
+  return 0;
+}
+
+int run_single(int argc, char** argv) {
   std::string verilog_path;
   std::string kiss_path;
   bool verify = false;
   bool quiet = false;
   int walk_steps = 500;
   seance::core::SynthesisOptions options;
+  std::vector<std::string> positionals;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--report") {
-      // default
-    } else if (arg == "--verilog" && i + 1 < argc) {
-      verilog_path = argv[++i];
-    } else if (arg == "--kiss" && i + 1 < argc) {
-      kiss_path = argv[++i];
-    } else if (arg == "--verify") {
-      verify = true;
-    } else if (arg == "--walk" && i + 1 < argc) {
-      walk_steps = std::atoi(argv[++i]);
-    } else if (arg == "--baseline") {
-      options.add_fsv = false;
-    } else if (arg == "--no-minimize") {
-      options.minimize_states = false;
-    } else if (arg == "--flat") {
-      options.factor = false;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::printf("unknown option %s\n", arg.c_str());
-      usage();
-      return 1;
-    } else {
-      target = arg;
-    }
+  OptionTable table("");
+  table.synopsis("usage: seance <table.kiss2 | benchmark-name> [options]");
+  table.flag("--report", "print codes, equations, hazard lists (default)",
+             [] {});
+  table.text("--verilog", "FILE",
+             "write structural Verilog of the FANTOM network", &verilog_path);
+  table.text("--kiss", "FILE", "write the (reduced) flow table back as KISS2",
+             &kiss_path);
+  table.flag("--verify",
+             "run the static ternary verification and the gate-level "
+             "random-walk simulation",
+             &verify);
+  table.number("--walk", "N",
+               "simulated handshakes for --verify (default 500)", &walk_steps);
+  add_synthesis_options(table, options);
+  table.flag("--quiet", "suppress the report", &quiet);
+  switch (table.parse(argc, argv, 1, &positionals)) {
+    case ParseResult::kHelp: return 0;
+    case ParseResult::kError: usage(); return 1;
+    case ParseResult::kOk: break;
   }
-  if (target.empty()) {
+  if (positionals.empty()) {
     usage();
     return 1;
   }
+  const std::string target = positionals.back();
 
-  seance::flowtable::FlowTable table(1, 0, 1);
+  seance::flowtable::FlowTable flow(1, 0, 1);
   try {
     if (target.find(".kiss") != std::string::npos ||
         target.find('/') != std::string::npos) {
-      table = seance::flowtable::load_kiss2_file(target);
+      flow = seance::flowtable::load_kiss2_file(target);
     } else {
-      table = seance::bench_suite::load(seance::bench_suite::by_name(target));
+      flow = seance::bench_suite::load(seance::bench_suite::by_name(target));
     }
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
     return 1;
   }
 
-  seance::core::FantomMachine machine;
-  try {
-    machine = seance::core::synthesize(table, options);
-  } catch (const std::exception& e) {
-    std::printf("synthesis error: %s\n", e.what());
+  // The CLI runs its own verification reporting below, so the facade is
+  // asked only for the machine (checks off, no cache: machine requests
+  // always take the cold path).
+  seance::api::SynthesisRequest request;
+  request.name = target;
+  request.table = std::move(flow);
+  request.options = options;
+  request.verify = false;
+  request.ternary = false;
+  request.want_machine = true;
+  const seance::api::SynthesisResponse response = seance::api::synthesize(request);
+  if (!response.machine) {
+    std::printf("synthesis error: %s\n", response.row.detail.c_str());
     return 1;
   }
+  const seance::core::FantomMachine& machine = *response.machine;
 
   if (!quiet) {
     std::printf("%s", machine.report().c_str());
@@ -1005,4 +1091,30 @@ int main(int argc, char** argv) {
     return summary.failures == 0 ? 0 : 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--help") == 0) {
+    usage();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "batch") == 0) {
+    return run_batch(argc, argv);
+  }
+  if (std::strcmp(argv[1], "baseline") == 0) {
+    return run_baseline(argc, argv);
+  }
+  if (std::strcmp(argv[1], "diff") == 0) {
+    return run_diff(argc, argv);
+  }
+  if (std::strcmp(argv[1], "serve") == 0) {
+    return run_serve(argc, argv);
+  }
+  return run_single(argc, argv);
 }
