@@ -94,7 +94,8 @@ std::string cache_key(const SynthesisRequest& request) {
 }
 
 SynthesisResponse synthesize(const SynthesisRequest& request,
-                             ResultCache* cache) {
+                             ResultCache* cache,
+                             search::TranspositionTable* tt) {
   if (!request.table && request.table_text.empty()) {
     throw std::runtime_error(
         "api: request carries neither a table nor KISS2 text");
@@ -156,7 +157,7 @@ SynthesisResponse synthesize(const SynthesisRequest& request,
       }
     } else {
       response.row = driver::BatchRunner::run_job(
-          spec, checks, request.want_machine ? &machine : nullptr);
+          spec, checks, request.want_machine ? &machine : nullptr, tt);
     }
     if (request.want_machine &&
         response.row.status != driver::JobStatus::kSynthesisError &&

@@ -103,8 +103,20 @@ struct SynthesisResponse {
 /// always carries the request's name.  Never throws on a job failure —
 /// that is a row status; throws only on caller errors (e.g. an empty
 /// request with neither table nor text).
+///
+/// `tt` (optional) is a caller-owned transposition table (the serve
+/// loop keeps one per process).  Entries are request-scoped —
+/// core::synthesize clears it on entry and substitutes a fresh local
+/// table when it is absent or wrongly sized for the request's tt-mb —
+/// so the response is byte-identical with or without one; the
+/// allocation and stats counters are what persist across requests.
+/// Not handed to the watchdogged path (an abandoned worker may not
+/// share a table its owner keeps using, and with a raw pointer there
+/// is no co-ownership), which is row-neutral for the same reason.
 [[nodiscard]] SynthesisResponse synthesize(const SynthesisRequest& request,
-                                           ResultCache* cache = nullptr);
+                                           ResultCache* cache = nullptr,
+                                           search::TranspositionTable* tt =
+                                               nullptr);
 
 // ---- Corpus service ------------------------------------------------------
 

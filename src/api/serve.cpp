@@ -1,6 +1,7 @@
 #include "api/serve.hpp"
 
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -8,6 +9,7 @@
 #include "api/api.hpp"
 #include "api/cache.hpp"
 #include "driver/batch.hpp"
+#include "search/search.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/socket.h>
@@ -40,7 +42,8 @@ void send_error(std::ostream& out, const std::string& why, ServeStats& stats) {
 /// payload.  Reads OPT/TABLE/END, answers RES/ROW/END or ERR/END.
 void handle_request(std::istream& in, std::ostream& out,
                     const std::string& name, const ServeConfig& config,
-                    ResultCache* cache, ServeStats& stats) {
+                    ResultCache* cache, search::TranspositionTable* tt,
+                    ServeStats& stats) {
   SynthesisRequest request;
   request.name = name;
   request.options = config.options;
@@ -107,7 +110,7 @@ void handle_request(std::istream& in, std::ostream& out,
     return;
   }
 
-  const SynthesisResponse response = synthesize(request, cache);
+  const SynthesisResponse response = synthesize(request, cache, tt);
   out << "RES " << to_string(response.cache) << " " << response.row.name
       << "\nROW " << driver::to_csv_row(response.row) << "\nEND\n"
       << std::flush;
@@ -115,7 +118,8 @@ void handle_request(std::istream& in, std::ostream& out,
 }
 
 void send_stats(std::ostream& out, const ServeStats& stats,
-                const ResultCache* cache) {
+                const ResultCache* cache,
+                const search::TranspositionTable* tt) {
   out << "STATS requests=" << stats.requests << " errors=" << stats.errors;
   if (cache != nullptr) {
     const CacheStats& c = cache->stats();
@@ -124,23 +128,28 @@ void send_stats(std::ostream& out, const ServeStats& stats,
         << " entries=" << c.entries << " bytes=" << c.bytes
         << " warm-entries=" << c.warm_entries;
   }
+  if (tt != nullptr) {
+    const search::TtStats& t = tt->stats();
+    out << " tt-hits=" << t.hits << " tt-misses=" << t.misses
+        << " tt-stores=" << t.stores << " tt-evictions=" << t.evictions;
+  }
   out << "\n" << std::flush;
 }
 
 ServeStats serve_impl(std::istream& in, std::ostream& out,
                       const ServeConfig& config, ResultCache* cache,
-                      bool* shutdown) {
+                      search::TranspositionTable* tt, bool* shutdown) {
   ServeStats stats;
   std::string line;
   while (std::getline(in, line)) {
     strip_cr(line);
     if (line.empty()) continue;
     if (line.rfind("REQ ", 0) == 0 && line.size() > 4) {
-      handle_request(in, out, line.substr(4), config, cache, stats);
+      handle_request(in, out, line.substr(4), config, cache, tt, stats);
     } else if (line == "PING") {
       out << "PONG\n" << std::flush;
     } else if (line == "STATS") {
-      send_stats(out, stats, cache);
+      send_stats(out, stats, cache, tt);
     } else if (line == "QUIT") {
       out << "BYE\n" << std::flush;
       break;
@@ -155,11 +164,28 @@ ServeStats serve_impl(std::istream& in, std::ostream& out,
   return stats;
 }
 
+/// One transposition table per server process, handed to every request
+/// (and, for the socket listener, every connection).  Entries are
+/// request-scoped — core::synthesize clears the table on entry, so a
+/// served ROW is byte-identical to the batch row for the same request
+/// no matter what was served before — but the allocation is reused and
+/// the STATS counters accumulate across the process lifetime.  Null
+/// when the server's default options disable it; per-request OPT lines
+/// with tt=0 run cold, and an OPT tt-mb different from the server's
+/// makes synthesize substitute a correctly-sized local table (capacity
+/// decides evictions, so it is part of the request's identity).
+std::unique_ptr<search::TranspositionTable> make_tt(const ServeConfig& config) {
+  if (!config.options.tt || config.options.tt_mb == 0) return nullptr;
+  return std::make_unique<search::TranspositionTable>(config.options.tt_mb
+                                                      << 20);
+}
+
 }  // namespace
 
 ServeStats serve(std::istream& in, std::ostream& out,
                  const ServeConfig& config, ResultCache* cache) {
-  return serve_impl(in, out, config, cache, nullptr);
+  const std::unique_ptr<search::TranspositionTable> tt = make_tt(config);
+  return serve_impl(in, out, config, cache, tt.get(), nullptr);
 }
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -244,6 +270,7 @@ ServeStats serve_unix_socket(const std::string& path,
   }
 
   ServeStats total;
+  const std::unique_ptr<search::TranspositionTable> tt = make_tt(config);
   bool shutdown = false;
   while (!shutdown) {
     int conn;
@@ -260,7 +287,8 @@ ServeStats serve_unix_socket(const std::string& path,
       FdStreambuf buffer(conn);
       std::istream in(&buffer);
       std::ostream out(&buffer);
-      const ServeStats stats = serve_impl(in, out, config, cache, &shutdown);
+      const ServeStats stats =
+          serve_impl(in, out, config, cache, tt.get(), &shutdown);
       total.requests += stats.requests;
       total.errors += stats.errors;
     }  // flushes the tail before close

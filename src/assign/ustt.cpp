@@ -171,8 +171,9 @@ namespace {
 // from the extended incumbent instead of a cold greedy pass.
 class PartitionSearch {
  public:
-  PartitionSearch(std::vector<Dichotomy> dichotomies, std::size_t budget)
-      : dichotomies_(std::move(dichotomies)), budget_(budget) {
+  PartitionSearch(std::vector<Dichotomy> dichotomies, std::size_t budget,
+                  search::TranspositionTable* tt)
+      : dichotomies_(std::move(dichotomies)), budget_(budget), tt_(tt) {
     sort_most_constrained();
   }
 
@@ -253,51 +254,105 @@ class PartitionSearch {
 
   void search() {
     std::vector<Partition> classes;
-    nodes_ = 0;
+    budget_.reset();
+    if (tt_ != nullptr) {
+      // Re-rooted per search: add() extends and re-sorts dichotomies_,
+      // which changes what an (index, classes) state means.
+      std::uint64_t h = search::hash_u64(dichotomies_.size());
+      for (const Dichotomy& d : dichotomies_) {
+        h = search::hash_mix(h, d.a);
+        h = search::hash_mix(h, d.b);
+      }
+      root_sig_ = h;
+    }
     recurse(0, classes);
-    last_exact_ = nodes_ <= budget_;
+    last_exact_ = budget_.exact();
   }
 
   void recurse(std::size_t index, std::vector<Partition>& classes) {
-    if (nodes_ > budget_) return;
-    ++nodes_;
+    // Unified accounting (search::NodeBudget convention): the historical
+    // pre-increment guard here could never leave nodes_ above budget_,
+    // so a truncated search still claimed exact=true.
+    if (budget_.charge()) return;
     if (classes.size() >= best_.size()) return;  // cannot improve
     if (index == dichotomies_.size()) {
       best_ = classes;
       return;
     }
+    std::uint64_t sig = 0;
+    const std::size_t best_in = best_.size();
+    if (tt_ != nullptr) {
+      // The completion cost from here depends on the class *set* and the
+      // remaining suffix, not on class order: commutative per-class sum.
+      std::uint64_t sum = 0;
+      for (const Partition& p : classes) {
+        sum += search::hash_mix(search::hash_u64(p.zeros),
+                                search::hash_u64(p.ones));
+      }
+      sig = search::hash_mix(search::hash_mix(root_sig_, index), sum);
+      if (const auto e = tt_->probe(sig)) {
+        if (search::has_lower(e->bound) &&
+            classes.size() + e->value >= best_.size()) {
+          return;
+        }
+      }
+    }
     const Dichotomy& d = dichotomies_[index];
-    for (std::size_t i = 0; i < classes.size(); ++i) {
+    bool truncated = false;
+    for (std::size_t i = 0; i < classes.size() && !truncated; ++i) {
       for (const bool flip : {false, true}) {
         if (!fits(classes[i], d, flip)) continue;
         const Partition saved = classes[i];
         merge(classes[i], d, flip);
         recurse(index + 1, classes);
         classes[i] = saved;
-        if (nodes_ > budget_) return;
+        if (budget_.exhausted()) {
+          truncated = true;
+          break;
+        }
       }
     }
-    // Open a new class.
-    classes.push_back(Partition{d.a, d.b});
-    recurse(index + 1, classes);
-    classes.pop_back();
+    if (!truncated) {
+      // Open a new class.
+      classes.push_back(Partition{d.a, d.b});
+      recurse(index + 1, classes);
+      classes.pop_back();
+    }
+    if (tt_ != nullptr) {
+      const std::size_t g = classes.size();
+      const std::size_t best_out = best_.size();
+      if (!budget_.exhausted()) {
+        if (best_out < best_in) {
+          tt_->store(sig, search::Bound::kExact,
+                     static_cast<std::uint32_t>(best_out - g));
+        } else {
+          tt_->store(sig, search::Bound::kLower,
+                     static_cast<std::uint32_t>(best_in - g));
+        }
+      } else if (best_out < best_in) {
+        tt_->store(sig, search::Bound::kUpper,
+                   static_cast<std::uint32_t>(best_out - g));
+      }
+    }
   }
 
   std::vector<Dichotomy> dichotomies_;
-  std::size_t budget_;
+  search::NodeBudget budget_;
+  search::TranspositionTable* tt_;
+  std::uint64_t root_sig_ = 0;
   std::vector<Partition> best_;
-  std::size_t nodes_ = 0;
   bool last_exact_ = true;
 };
 
 }  // namespace
 
-Assignment assign_ustt(const FlowTable& table, const AssignOptions& options) {
+Assignment assign_ustt(const FlowTable& table, const AssignOptions& options,
+                       search::TranspositionTable* tt) {
   if (table.num_states() > minimize::kMaxStates) {
     throw std::invalid_argument("assign_ustt: too many states");
   }
   const int n = table.num_states();
-  PartitionSearch search(transition_dichotomies(table), options.node_budget);
+  PartitionSearch search(transition_dichotomies(table), options.node_budget, tt);
   bool exact = true;
   std::vector<Partition> parts = search.solve(&exact);
 

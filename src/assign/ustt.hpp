@@ -38,6 +38,7 @@
 
 #include "flowtable/table.hpp"
 #include "minimize/reduce.hpp"  // StateSet
+#include "search/search.hpp"
 
 namespace seance::assign {
 
@@ -95,8 +96,13 @@ struct Assignment {
 /// Computes a USTT assignment.  Throws std::runtime_error if the table has
 /// incompatible requirements (cannot happen for well-formed normal-mode
 /// tables).
+///
+/// `tt` (optional) memoizes partition-search subproblem bounds; with
+/// `tt == nullptr` the search is node-for-node identical to the
+/// memoization-free engine.
 [[nodiscard]] Assignment assign_ustt(const flowtable::FlowTable& table,
-                                     const AssignOptions& options = {});
+                                     const AssignOptions& options = {},
+                                     search::TranspositionTable* tt = nullptr);
 
 /// Verifies USTT critical-race freedom of an arbitrary code assignment:
 /// for every input column and every pair of non-interacting transitions,

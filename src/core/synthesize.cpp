@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -48,9 +49,17 @@ std::string options_to_string(const SynthesisOptions& options) {
   s += " cover=";
   s += to_string(options.cover_mode);
   s += " cover-budget=" + std::to_string(options.cover_node_budget);
+  s += " cover-cells=" + std::to_string(options.cover_cell_limit);
   add_bool("unique", options.assign.ensure_unique);
   s += " assign-budget=" + std::to_string(options.assign.node_budget);
   s += " reduce-budget=" + std::to_string(options.reduce.node_budget);
+  // tt is a result-affecting knob: a completed search returns the same
+  // answer with or without the memo, but a budget-truncated search keeps
+  // the incumbent its pruned traversal reached, and memo pruning moves
+  // that frontier.  Equal bytes iff equal configuration, so both stay in
+  // the identity string.
+  add_bool("tt", options.tt);
+  s += " tt-mb=" + std::to_string(options.tt_mb);
   return s;
 }
 
@@ -126,12 +135,18 @@ SynthesisOptions options_from_string(std::string_view text) {
       options.cover_mode = *mode;
     } else if (key == "cover-budget") {
       parse_budget(key, value, options.cover_node_budget);
+    } else if (key == "cover-cells") {
+      parse_budget(key, value, options.cover_cell_limit);
     } else if (key == "unique") {
       parse_bool(key, value, options.assign.ensure_unique);
     } else if (key == "assign-budget") {
       parse_budget(key, value, options.assign.node_budget);
     } else if (key == "reduce-budget") {
       parse_budget(key, value, options.reduce.node_budget);
+    } else if (key == "tt") {
+      parse_bool(key, value, options.tt);
+    } else if (key == "tt-mb") {
+      parse_budget(key, value, options.tt_mb);
     } else {
       // Unknown keys are rejected, not skipped: a key this build does not
       // know could change results in the build that wrote it, so treating
@@ -227,9 +242,45 @@ bool in_list(const std::vector<hazard::TotalState>& sorted_list, int column, int
 
 }  // namespace
 
-FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options) {
+FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options,
+                         search::TranspositionTable* tt) {
   FantomMachine machine;
   machine.options = options;
+  // One gate for all three searches: options.tt == false runs everything
+  // cold even when the caller supplied a table.  When the memo is on,
+  // the result must still be a pure function of (input, options) — the
+  // identity string promises it — so a supplied table is cleared here
+  // (entries from other inputs would steer budget-truncated searches)
+  // and a missing or wrongly-sized one (capacity is result-relevant via
+  // evictions) is replaced by a fresh local table of the requested size.
+  // Callers share the allocation and the stats counters, never warmth.
+  search::TranspositionTable* memo = nullptr;
+  std::unique_ptr<search::TranspositionTable> local_tt;
+  if (options.tt) {
+    const std::size_t bytes = static_cast<std::size_t>(options.tt_mb) << 20;
+    if (tt != nullptr &&
+        tt->capacity() == search::TranspositionTable::slot_count_for(bytes)) {
+      tt->clear();
+      memo = tt;
+    } else {
+      local_tt = std::make_unique<search::TranspositionTable>(bytes);
+      memo = local_tt.get();
+    }
+  }
+  // Runs one minimized cover selection and folds its certified bounds
+  // into the machine-level accounting.
+  const auto min_cover = [&](int num_vars, std::span<const Minterm> on,
+                             std::span<const Minterm> dc) {
+    logic::CoverStats cstats;
+    Cover cover = select_cover(num_vars, on, dc, options.cover_mode, &cstats,
+                               options.cover_node_budget, memo,
+                               options.cover_cell_limit);
+    machine.cover_bounds.cubes += cstats.cover_size;
+    machine.cover_bounds.lower_bound += cstats.lower_bound;
+    machine.cover_bounds.proven += cstats.exact ? 1 : 0;
+    machine.cover_bounds.charts += 1;
+    return cover;
+  };
 
   // ---- Step 1: flow-table preparation -------------------------------
   FlowTable prepared = input;
@@ -247,7 +298,8 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
 
   // ---- Step 2: table reduction ---------------------------------------
   if (options.minimize_states && prepared.num_states() > 1) {
-    minimize::ReductionResult reduction = minimize::reduce(prepared, options.reduce);
+    minimize::ReductionResult reduction =
+        minimize::reduce(prepared, options.reduce, memo);
     machine.table = reduction.reduced;
     machine.reduction = std::move(reduction);
   } else {
@@ -256,7 +308,8 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
   const FlowTable& table = machine.table;
 
   // ---- Step 3: USTT state assignment ---------------------------------
-  assign::Assignment assignment = assign::assign_ustt(table, options.assign);
+  assign::Assignment assignment =
+      assign::assign_ustt(table, options.assign, memo);
   if (!assign::verify_ustt(table, assignment.codes, assignment.num_vars, true, &why)) {
     throw std::logic_error("synthesize: USTT verification failed: " + why);
   }
@@ -287,8 +340,7 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
     }
     const auto on = spec.on_set();
     const auto dc = spec.dc_set(layout.xy_vars());
-    Equation eq(select_cover(layout.xy_vars(), on, dc, options.cover_mode,
-                             nullptr, options.cover_node_budget));
+    Equation eq(min_cover(layout.xy_vars(), on, dc));
     eq.expr = logic::first_level_sop_expr(eq.cover);
     machine.z.push_back(std::move(eq));
   }
@@ -315,9 +367,7 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
     }
     const auto on = spec.on_set();
     const auto dc = spec.dc_set(layout.xy_vars());
-    machine.ssd = Equation(select_cover(layout.xy_vars(), on, dc,
-                                        options.cover_mode, nullptr,
-                                        options.cover_node_budget));
+    machine.ssd = Equation(min_cover(layout.xy_vars(), on, dc));
     machine.ssd.expr = logic::first_level_sop_expr(machine.ssd.cover);
   }
 
@@ -377,9 +427,7 @@ FantomMachine synthesize(const FlowTable& input, const SynthesisOptions& options
     }
     const auto on = spec.on_set();
     const auto dc = spec.dc_set(layout.y_space_vars());
-    Equation eq(select_cover(layout.y_space_vars(), on, dc,
-                             options.cover_mode, nullptr,
-                             options.cover_node_budget));
+    Equation eq(min_cover(layout.y_space_vars(), on, dc));
     if (options.consensus_repair) {
       (void)logic::make_sic_static1_hazard_free(eq.cover);
     }

@@ -27,6 +27,7 @@
 #include "logic/expr.hpp"
 #include "logic/qm.hpp"
 #include "minimize/reduce.hpp"
+#include "search/search.hpp"
 
 namespace seance::core {
 
@@ -82,6 +83,18 @@ struct SynthesisOptions {
   /// Exposed so the limit-tuning sweep (bench_primes --sweep-limits) can
   /// drive the real pipeline; the default is the production setting.
   std::size_t cover_node_budget = logic::kDefaultExactNodeBudget;
+  /// Ceiling on rows*columns of a reduced covering chart for attempting
+  /// the exact completion (see logic::kExactCellLimit).  Exposed so
+  /// cell-limit experiments (bench_search_tt) can drive the real
+  /// pipeline.
+  std::size_t cover_cell_limit = logic::kExactCellLimit;
+  /// Consult the shared transposition table (when the caller provides an
+  /// instance) in the three branch-and-bound searches.  Off forces every
+  /// search to run cold, node-for-node identical to the memoization-free
+  /// engines.
+  bool tt = true;
+  /// Transposition-table size in MiB (one table per batch worker).
+  std::size_t tt_mb = 16;
   assign::AssignOptions assign;
   minimize::ReduceOptions reduce;
 };
@@ -93,8 +106,9 @@ struct SynthesisOptions {
 /// conscious event that invalidates every cached result and golden
 /// identity line at once instead of silently aliasing old entries.
 /// (v1 was the pre-codec store::describe spelling: unversioned and
-/// missing cover-budget.)
-inline constexpr int kOptionsEncodingVersion = 2;
+/// missing cover-budget.  v2 predates the shared search core: no
+/// cover-cells, tt, or tt-mb keys.)
+inline constexpr int kOptionsEncodingVersion = 3;
 
 /// Canonical spelling of a cover policy ("essential-sop", "greedy",
 /// "all-primes"); inverse returns nullopt for unknown names.
@@ -103,8 +117,9 @@ inline constexpr int kOptionsEncodingVersion = 2;
     std::string_view name);
 
 /// Canonical, byte-stable encoding of every result-affecting knob:
-///   "v2 fsv=B minimize=B factor=B consensus=B cover=MODE
-///    cover-budget=N unique=B assign-budget=N reduce-budget=N"
+///   "v3 fsv=B minimize=B factor=B consensus=B cover=MODE
+///    cover-budget=N cover-cells=N unique=B assign-budget=N
+///    reduce-budget=N tt=B tt-mb=N"
 /// Equal options always produce equal bytes (field order is pinned by
 /// test), so the string can key a content-addressed cache and compare
 /// pipeline configurations across processes.
@@ -126,6 +141,25 @@ struct DepthReport {
   int total_depth = 0;
 };
 
+/// Certified optimality accounting over the minimized equation covers
+/// (Z, SSD, Y — fsv's all-primes cover is hazard-driven, not minimized,
+/// so it never contributes).  `cubes` is the summed certified upper
+/// bound, `lower_bound` the summed certified lower bound;
+/// `cubes - lower_bound` is the machine's total certified gap (zero
+/// means every chart is a proven minimum).  `lower_bound` is computed
+/// before any search runs, so it is memo-independent; `cubes` is a
+/// returned cover size, which for a budget-truncated search depends on
+/// the memo like any other budget knob.  Both are sound either way:
+/// lower_bound <= true optimum <= cubes always holds.
+struct CoverBounds {
+  std::size_t cubes = 0;        ///< sum of returned cover sizes
+  std::size_t lower_bound = 0;  ///< sum of certified lower bounds
+  std::size_t proven = 0;       ///< charts solved to proven optimality
+  std::size_t charts = 0;       ///< minimized charts (Z + SSD + Y count)
+
+  [[nodiscard]] std::size_t gap() const { return cubes - lower_bound; }
+};
+
 struct FantomMachine {
   flowtable::FlowTable table;  ///< the synthesized (possibly reduced) table
   std::vector<std::uint32_t> codes;
@@ -136,6 +170,7 @@ struct FantomMachine {
   Equation fsv;             ///< over (x, y); constant 0 for baselines
   hazard::HazardLists hazards;
   std::optional<minimize::ReductionResult> reduction;  ///< step 2 details
+  CoverBounds cover_bounds;  ///< certified bound accounting (Z/SSD/Y)
   std::vector<std::string> warnings;
   SynthesisOptions options;
 
@@ -151,8 +186,21 @@ struct FantomMachine {
 /// Runs the full SEANCE pipeline.  The input table is normalized to
 /// normal mode if needed; throws std::runtime_error when the table cannot
 /// be repaired (e.g. transition cycles) or exceeds size limits.
-[[nodiscard]] FantomMachine synthesize(const flowtable::FlowTable& input,
-                                       const SynthesisOptions& options = {});
+///
+/// `tt` (optional) is a shared transposition table consulted by the three
+/// branch-and-bound searches (cover completion, state-minimization cover,
+/// partition cover).  Ignored when `options.tt` is false.  Memoization
+/// never changes a *completed* search's result — only node counts — but a
+/// budget-truncated search keeps whatever incumbent its pruned traversal
+/// reached, and memo pruning moves that frontier; `tt` is therefore a
+/// result-affecting option (part of options_to_string) like any budget.
+/// The incumbents a warm table steers truncated searches toward depend on
+/// what was searched before, so callers that promise rows are a pure
+/// function of (table, options) must hand in a table with no entries from
+/// other inputs — BatchRunner::run_job enforces this by clearing on entry.
+[[nodiscard]] FantomMachine synthesize(
+    const flowtable::FlowTable& input, const SynthesisOptions& options = {},
+    search::TranspositionTable* tt = nullptr);
 
 /// Functional cross-checks used by tests and the verification harness.
 /// True iff the machine's Y covers reproduce the flow-table transition

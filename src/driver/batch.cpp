@@ -146,6 +146,15 @@ std::string BatchReport::summary(bool per_job) const {
                 static_cast<int>(jobs.size()), ok_count(), failed_count(),
                 threads_used, wall_ms);
   out += line;
+  if (tt_stats.hits + tt_stats.misses + tt_stats.stores != 0) {
+    std::snprintf(line, sizeof(line),
+                  "tt: %llu hits, %llu misses, %llu stores, %llu evictions\n",
+                  static_cast<unsigned long long>(tt_stats.hits),
+                  static_cast<unsigned long long>(tt_stats.misses),
+                  static_cast<unsigned long long>(tt_stats.stores),
+                  static_cast<unsigned long long>(tt_stats.evictions));
+    out += line;
+  }
   if (shards_used > 0) {
     std::snprintf(line, sizeof(line),
                   "shards: %d workers, slowest %.1f ms\n", shards_used,
@@ -160,13 +169,14 @@ std::string to_csv_row(const JobResult& j) {
   // truncate the row; only the bounded numeric tail uses the buffer.
   char metrics[256];
   std::snprintf(metrics, sizeof(metrics),
-                ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+                ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
                 to_string(j.status), j.num_inputs, j.num_outputs,
                 j.input_states, j.synthesized_states, j.state_vars,
                 j.fl_hazards, j.var_hazards, j.depth.fsv_depth,
                 j.depth.y_depth, j.depth.total_depth, j.gate_count,
                 j.equations_verified ? 1 : 0, j.ternary_transitions,
-                j.ternary_a_violations, j.ternary_b_violations);
+                j.ternary_a_violations, j.ternary_b_violations,
+                j.cover_cubes, j.cover_gap);
   std::string out = csv_escape(j.name);
   out += metrics;
   return out;
@@ -295,7 +305,15 @@ JobResult run_with_deadline(std::string name, double timeout_ms,
 }
 
 JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options,
-                               core::FantomMachine* machine_out) {
+                               core::FantomMachine* machine_out,
+                               search::TranspositionTable* tt) {
+  // `tt` is the worker's reusable allocation, nothing more:
+  // core::synthesize clears it on entry (and substitutes a local table
+  // on a capacity mismatch), so entries never outlive one job and every
+  // row is a pure function of (spec.table, spec.options) no matter
+  // which jobs this worker ran first — the property behind
+  // byte-identical reports across thread counts, shard splits, and the
+  // serve/batch row equivalence.
   JobResult r;
   r.name = spec.name;
   r.num_inputs = spec.table.num_inputs();
@@ -303,7 +321,8 @@ JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options,
   r.input_states = spec.table.num_states();
   const auto start = Clock::now();
   try {
-    const core::FantomMachine machine = core::synthesize(spec.table, spec.options);
+    const core::FantomMachine machine =
+        core::synthesize(spec.table, spec.options, tt);
     r.synthesized_states = machine.table.num_states();
     r.state_vars = machine.layout.num_state_vars;
     r.fl_hazards = static_cast<int>(machine.hazards.fl.size());
@@ -312,6 +331,8 @@ JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options,
     }
     r.depth = machine.depth_report();
     r.gate_count = machine.gate_count();
+    r.cover_cubes = static_cast<int>(machine.cover_bounds.cubes);
+    r.cover_gap = static_cast<int>(machine.cover_bounds.gap());
 
     if (options.verify) {
       std::string why;
@@ -366,35 +387,57 @@ BatchReport BatchRunner::run() const {
   }
 
   // Work-stealing by atomic index: workers write disjoint slots of
-  // report.jobs; the counter and the progress channel are the only shared
-  // state.
+  // report.jobs; the counter, the progress channel, and the tt-stats
+  // accumulator are the only shared state.
   std::atomic<std::size_t> next{0};
   std::mutex progress_m;
   int completed = 0;
+  const auto fresh_tt = [&]() -> std::shared_ptr<search::TranspositionTable> {
+    if (!options_.synthesis.tt || options_.synthesis.tt_mb == 0) return nullptr;
+    return std::make_shared<search::TranspositionTable>(
+        options_.synthesis.tt_mb << 20);
+  };
   auto worker = [&] {
+    // One transposition table per worker, persisting across its jobs:
+    // structurally similar corpus jobs warm each other, and worker-local
+    // ownership keeps probes lock-free.  Results do not depend on which
+    // jobs land on which worker — memoization only changes node counts —
+    // so the work-stealing schedule stays invisible in the report.
+    std::shared_ptr<search::TranspositionTable> tt = fresh_tt();
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs_.size()) return;
+      if (i >= jobs_.size()) break;
       const JobSpec& spec = jobs_[i];
       if (options_.job_timeout_ms > 0) {
         // The watchdog body owns a copy of the spec (an abandoned worker
-        // may outlive the runner) but shares the one sanitized options.
+        // may outlive the runner) but shares the one sanitized options —
+        // and co-owns the table, so on timeout the detached thread still
+        // has a live table to write into.
         report.jobs[i] = run_with_deadline(
             spec.name, options_.job_timeout_ms,
-            [spec, sanitized] { return run_job(spec, *sanitized); });
+            [spec, sanitized, tt] { return run_job(spec, *sanitized, nullptr,
+                                                   tt.get()); });
         if (report.jobs[i].status == JobStatus::kTimeout) {
           report.jobs[i].num_inputs = spec.table.num_inputs();
           report.jobs[i].num_outputs = spec.table.num_outputs();
           report.jobs[i].input_states = spec.table.num_states();
+          // The abandoned worker may still be probing/storing its table;
+          // replace rather than share a data race with it (its stats are
+          // forfeited along with the warmth).
+          if (tt != nullptr) tt = fresh_tt();
         }
       } else {
-        report.jobs[i] = run_job(spec, options_);
+        report.jobs[i] = run_job(spec, options_, nullptr, tt.get());
       }
       if (options_.on_result) {
         const std::lock_guard<std::mutex> lock(progress_m);
         options_.on_result(report.jobs[i], ++completed,
                            static_cast<int>(jobs_.size()));
       }
+    }
+    if (tt != nullptr) {
+      const std::lock_guard<std::mutex> lock(progress_m);
+      report.tt_stats += tt->stats();
     }
   };
   if (threads <= 1) {

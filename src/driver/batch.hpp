@@ -26,6 +26,7 @@
 #include "bench_suite/generator.hpp"
 #include "core/synthesize.hpp"
 #include "flowtable/table.hpp"
+#include "search/search.hpp"
 
 namespace seance::driver {
 
@@ -60,7 +61,8 @@ enum class JobStatus : std::uint8_t {
 inline constexpr std::string_view kCsvHeader =
     "name,status,inputs,outputs,input_states,synthesized_states,state_vars,"
     "fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,gate_count,"
-    "equations_verified,ternary_transitions,ternary_a,ternary_b";
+    "equations_verified,ternary_transitions,ternary_a,ternary_b,"
+    "cover_cubes,cover_gap";
 
 /// The harder canonical generator shape (ROADMAP: 8 states / 4 inputs).
 /// `seance_cli --hard N` and the golden corpus batch exactly this shape —
@@ -137,6 +139,15 @@ struct JobResult {
   int ternary_a_violations = 0;
   int ternary_b_violations = 0;
 
+  // Certified cover-optimality accounting (core::CoverBounds): summed
+  // cover sizes over the minimized Z/SSD/Y charts and the summed
+  // certified gap (cubes minus certified lower bound — zero means every
+  // chart of the job is a proven minimum).  Both lower-is-better and
+  // derived from memoization-independent bounds, so they are a pure
+  // function of the spec like every other persisted metric.
+  int cover_cubes = 0;
+  int cover_gap = 0;
+
   double wall_ms = 0.0;
 
   [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
@@ -160,6 +171,10 @@ struct BatchReport {
   /// of the corpus.
   int shards_used = 0;
   double max_shard_wall_ms = 0.0;
+  /// Transposition-table activity summed over the run's workers (zero
+  /// when memoization is off).  Like wall clocks, never persisted: hit
+  /// patterns depend on the thread schedule, not just the corpus.
+  search::TtStats tt_stats;
 
   [[nodiscard]] int ok_count() const;
   [[nodiscard]] int failed_count() const;
@@ -256,9 +271,18 @@ class BatchRunner {
   /// `machine_out` is non-null and synthesis succeeds, the machine is
   /// copied out — the api facade's single-table path needs the equations
   /// and netlist alongside the metrics row without running twice.
+  /// `tt` (optional) is the worker's transposition table, passed through
+  /// to core::synthesize, which clears it on entry: entries are scoped
+  /// to this one job (cross-job warmth would leak a truncated search's
+  /// warmth-dependent incumbent into the row, making reports depend on
+  /// worker scheduling), so every row is a pure function of the spec no
+  /// matter whose table is handed in.  Only the allocation and the
+  /// cumulative TtStats outlive the call.
   [[nodiscard]] static JobResult run_job(const JobSpec& spec,
                                          const BatchOptions& options,
                                          core::FantomMachine* machine_out =
+                                             nullptr,
+                                         search::TranspositionTable* tt =
                                              nullptr);
 
  private:

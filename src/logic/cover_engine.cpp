@@ -25,11 +25,13 @@ std::size_t popcount_and(const std::uint64_t* a, const std::uint64_t* b,
 
 class Solver {
  public:
-  Solver(const CoverTable& t, std::size_t node_budget)
+  Solver(const CoverTable& t, std::size_t node_budget,
+         search::TranspositionTable* tt)
       : t_(t),
         words_(t.words()),
         col_words_((t.num_cols() + 63) / 64),
         budget_(node_budget == 0 ? 1 : node_budget),
+        tt_(tt),
         uncovered_(words_, 0),
         col_mask_(col_words_, 0),
         row_cols_(t.num_rows() * col_words_, 0) {}
@@ -43,7 +45,7 @@ class Solver {
     }
     init();
     if (!reduce()) {
-      result.exact = true;  // proven uncoverable
+      result.exact = true;  // proven uncoverable; lower_bound stays vacuous
       return result;
     }
     if (uncovered_count() == 0) {
@@ -51,18 +53,23 @@ class Solver {
       std::sort(result.columns.begin(), result.columns.end());
       result.found = true;
       result.exact = true;
+      result.lower_bound = result.columns.size();
       return result;
     }
     prepare_residual();
+    if (tt_ != nullptr) root_sig_ = cover_root_signature(t_);
     recurse(uncovered_count(), 0);
-    result.nodes = nodes_;
-    result.exact = nodes_ < budget_;
+    result.nodes = budget_.nodes();
+    result.exact = budget_.exact();
     if (have_best_) {
       result.found = true;
       result.columns = forced_;
       result.columns.insert(result.columns.end(), best_.begin(), best_.end());
       std::sort(result.columns.begin(), result.columns.end());
     }
+    result.lower_bound = (result.exact && result.found)
+                             ? result.columns.size()
+                             : forced_.size() + root_lb_;
     return result;
   }
 
@@ -270,6 +277,7 @@ class Solver {
     std::stable_sort(row_order_.begin(), row_order_.end(),
                      [&](std::size_t a, std::size_t b) { return options[a] < options[b]; });
     scratch_.assign((active_rows.size() + 1) * words_, 0);
+    root_lb_ = (uncovered_count() + max_col_gain_ - 1) / max_col_gain_;
   }
 
   void recurse(std::size_t uncovered_count, std::size_t depth) {
@@ -280,7 +288,19 @@ class Solver {
       }
       return;
     }
-    if (++nodes_ >= budget_) return;
+    if (budget_.charge()) return;
+    std::uint64_t sig = 0;
+    if (tt_ != nullptr) {
+      sig = cover_node_signature(root_sig_, uncovered_.data(), words_);
+      if (const auto e = tt_->probe(sig)) {
+        // A certified completion bound that cannot strictly improve the
+        // incumbent prunes exactly like the gain bound below.
+        if (search::has_lower(e->bound) && have_best_ &&
+            chosen_.size() + e->value >= best_.size()) {
+          return;
+        }
+      }
+    }
     if (have_best_) {
       // Lower bound: each further column gains at most max_col_gain_ rows.
       const std::size_t lb = (uncovered_count + max_col_gain_ - 1) / max_col_gain_;
@@ -294,6 +314,7 @@ class Solver {
       }
     }
     if (pick == kNone) return;  // unreachable: uncovered_count > 0
+    const std::size_t best_in = have_best_ ? best_.size() : kNone;
     std::uint64_t* newly = &scratch_[depth * words_];
     for (std::uint32_t c : row_col_list_[pick]) {
       const std::uint64_t* col = t_.column(c);
@@ -307,15 +328,38 @@ class Solver {
       recurse(uncovered_count - gained, depth + 1);
       chosen_.pop_back();
       for (std::size_t w = 0; w < words_; ++w) uncovered_[w] |= newly[w];
-      if (nodes_ >= budget_) return;
+      if (budget_.exhausted()) break;
+    }
+    if (tt_ != nullptr) {
+      // Incumbent deltas certify this subtree: every completion pruned
+      // inside it had size >= the incumbent of its moment, so a fully
+      // explored subtree that improved to v* proves cost == v* - g, one
+      // that never improved proves cost >= best_in - g, and a truncated
+      // subtree that improved witnesses cost <= v* - g.
+      const std::size_t g = chosen_.size();
+      const std::size_t best_out = have_best_ ? best_.size() : kNone;
+      if (!budget_.exhausted()) {
+        if (best_out < best_in) {
+          tt_->store(sig, search::Bound::kExact,
+                     static_cast<std::uint32_t>(best_out - g));
+        } else if (best_in != kNone) {
+          tt_->store(sig, search::Bound::kLower,
+                     static_cast<std::uint32_t>(best_in - g));
+        }
+      } else if (best_out < best_in) {
+        tt_->store(sig, search::Bound::kUpper,
+                   static_cast<std::uint32_t>(best_out - g));
+      }
     }
   }
 
   const CoverTable& t_;
   std::size_t words_;
   std::size_t col_words_;
-  std::size_t budget_;
-  std::size_t nodes_ = 0;
+  search::NodeBudget budget_;
+  search::TranspositionTable* tt_;
+  std::uint64_t root_sig_ = 0;
+  std::size_t root_lb_ = 0;
   std::vector<std::uint64_t> uncovered_;
   std::vector<std::uint64_t> col_mask_;
   std::vector<std::uint64_t> row_cols_;  ///< transposed: row → column bitset
@@ -331,8 +375,25 @@ class Solver {
 
 }  // namespace
 
-MinCoverResult solve_min_cover(const CoverTable& table, std::size_t node_budget) {
-  return Solver(table, node_budget).run();
+MinCoverResult solve_min_cover(const CoverTable& table, std::size_t node_budget,
+                               search::TranspositionTable* tt) {
+  return Solver(table, node_budget, tt).run();
+}
+
+std::uint64_t cover_root_signature(const CoverTable& table) {
+  std::uint64_t h = search::hash_mix(table.num_rows(), table.num_cols());
+  if (table.num_cols() > 0) {
+    // Columns are contiguous in the packed store: one pass hashes all.
+    h = search::hash_mix(
+        h, search::hash_words(table.column(0), table.num_cols() * table.words()));
+  }
+  return h;
+}
+
+std::uint64_t cover_node_signature(std::uint64_t root_signature,
+                                   const std::uint64_t* uncovered,
+                                   std::size_t words) {
+  return search::hash_mix(root_signature, search::hash_words(uncovered, words));
 }
 
 std::optional<std::vector<std::size_t>> greedy_cover(const CoverTable& table) {

@@ -20,6 +20,8 @@
 #include <optional>
 #include <vector>
 
+#include "search/search.hpp"
+
 namespace seance::logic {
 
 /// Column-major packed incidence matrix: bit r of column c's bitset is
@@ -70,12 +72,38 @@ struct MinCoverResult {
   bool exact = false;
   /// Branch-and-bound nodes expanded (reduction work is free).
   std::size_t nodes = 0;
+  /// Certified lower bound on the minimum cover size.  Equals
+  /// `columns.size()` when `exact`; on budget overrun it is the
+  /// deterministic root bound (forced columns + ceil(uncovered rows /
+  /// best column gain)) — never derived from transposition-table
+  /// warmth, so reports stay byte-identical across batch schedules.
+  /// Zero (vacuous) when the table is uncoverable.
+  std::size_t lower_bound = 0;
 };
 
 /// Minimum-cardinality set cover by reduction + branch and bound with a
 /// node budget.  An empty table (no rows) yields an empty exact cover.
-[[nodiscard]] MinCoverResult solve_min_cover(const CoverTable& table,
-                                             std::size_t node_budget);
+///
+/// `tt` (optional) memoizes subproblem bounds across calls: nodes whose
+/// certified completion bound cannot strictly improve the incumbent are
+/// pruned.  A warm table can change `nodes` but never the returned
+/// columns of a search that completes within budget; with `tt ==
+/// nullptr` the traversal is node-for-node identical to the
+/// memoization-free engine.
+[[nodiscard]] MinCoverResult solve_min_cover(
+    const CoverTable& table, std::size_t node_budget,
+    search::TranspositionTable* tt = nullptr);
+
+/// Transposition-table signature of a whole table (mixes dimensions and
+/// every packed column word).  Exposed for the bound-soundness audit in
+/// tests/test_search_property.cpp.
+[[nodiscard]] std::uint64_t cover_root_signature(const CoverTable& table);
+
+/// Signature of the subproblem "cover exactly the rows set in
+/// `uncovered` (table.words() packed words) using any columns".
+[[nodiscard]] std::uint64_t cover_node_signature(std::uint64_t root_signature,
+                                                 const std::uint64_t* uncovered,
+                                                 std::size_t words);
 
 /// Greedy set cover over the same packed table: repeatedly take the
 /// column covering the most still-uncovered rows (lowest index on ties).

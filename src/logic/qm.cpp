@@ -28,7 +28,9 @@ std::vector<Cube> compute_primes(int num_vars, std::span<const Minterm> on,
 
 Cover select_cover(int num_vars, std::span<const Minterm> on,
                    std::span<const Minterm> dc, CoverMode mode,
-                   CoverStats* stats, std::size_t exact_node_budget) {
+                   CoverStats* stats, std::size_t exact_node_budget,
+                   search::TranspositionTable* tt,
+                   std::size_t exact_cell_limit) {
   const std::vector<Minterm> on_sorted = dedup(on);
 
   // The all-primes mode (every fsv cover) needs only the filtered prime
@@ -39,6 +41,10 @@ Cover select_cover(int num_vars, std::span<const Minterm> on,
     if (stats != nullptr) {
       *stats = CoverStats{};
       stats->prime_count = primes.size();
+      // All-primes covers are hazard-driven, not minimized: ub == lb by
+      // definition so they never contribute optimality gap.
+      stats->cover_size = primes.size();
+      stats->lower_bound = primes.size();
     }
     return Cover(num_vars, std::move(primes));
   }
@@ -99,10 +105,15 @@ Cover select_cover(int num_vars, std::span<const Minterm> on,
     }
   }
 
+  // Every cover contains the essentials, so they seed both bounds; the
+  // residual chart's contribution is filled in below.
+  std::size_t residual_lb = 0;
+
   if (num_rows > 0) {
     // Candidate columns: unselected primes restricted to remaining rows.
     std::vector<std::size_t> cand_ids;
     std::vector<std::vector<std::uint32_t>> cand_rows;
+    std::size_t max_gain = 1;
     for (std::size_t p = 0; p < primes.size(); ++p) {
       if (selected[p]) continue;
       const std::uint64_t* col = incidence.column(p);
@@ -116,6 +127,7 @@ Cover select_cover(int num_vars, std::span<const Minterm> on,
         }
       }
       if (rows.empty()) continue;
+      max_gain = std::max(max_gain, rows.size());
       cand_ids.push_back(p);
       cand_rows.push_back(std::move(rows));
     }
@@ -123,11 +135,17 @@ Cover select_cover(int num_vars, std::span<const Minterm> on,
     for (std::size_t c = 0; c < cand_rows.size(); ++c) {
       for (std::uint32_t r : cand_rows[c]) candidates.set(r, c);
     }
+    // Root bound for any path that does not prove: each further cube
+    // covers at most max_gain of the remaining rows.  Deterministic (no
+    // transposition-table input), so reports never depend on warmth.
+    residual_lb = (num_rows + max_gain - 1) / max_gain;
 
     bool solved = false;
     if (mode == CoverMode::kEssentialSop &&
-        num_rows * cand_ids.size() <= kExactCellLimit) {
-      const MinCoverResult result = solve_min_cover(candidates, exact_node_budget);
+        num_rows * cand_ids.size() <= exact_cell_limit) {
+      const MinCoverResult result =
+          solve_min_cover(candidates, exact_node_budget, tt);
+      residual_lb = std::max(residual_lb, result.lower_bound);
       if (result.found) {
         // A budget overrun with a valid incumbent still uses it — only
         // the exactness claim is dropped (CoverStats::exact = false).
@@ -149,6 +167,11 @@ Cover select_cover(int num_vars, std::span<const Minterm> on,
   std::vector<Cube> chosen;
   for (std::size_t p = 0; p < primes.size(); ++p) {
     if (selected[p]) chosen.push_back(primes[p]);
+  }
+  if (stats != nullptr) {
+    stats->cover_size = chosen.size();
+    stats->lower_bound =
+        stats->exact ? chosen.size() : essential_count + residual_lb;
   }
   return Cover(num_vars, std::move(chosen));
 }

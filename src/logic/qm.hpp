@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "logic/cube.hpp"
+#include "search/search.hpp"
 
 namespace seance::logic {
 
@@ -48,6 +49,15 @@ struct CoverStats {
   /// valid incumbent (which is returned as-is) or with the greedy
   /// completion engaged.
   bool exact = true;
+  /// Cubes in the returned cover (the certified upper bound).
+  std::size_t cover_size = 0;
+  /// Certified lower bound on the minimum cover size: essentials are in
+  /// every cover, plus the covering engine's bound on the residual chart
+  /// (the deterministic root bound when the search did not prove).  When
+  /// `exact`, equals `cover_size`.  `cover_size - lower_bound` is the
+  /// certified optimality gap — zero means proven minimum even when the
+  /// chart was routed to greedy.
+  std::size_t lower_bound = 0;
 };
 
 /// Default branch-and-bound node budget for the exact cover completion.
@@ -67,6 +77,13 @@ inline constexpr std::size_t kDefaultExactNodeBudget = 2'000'000;
 /// 0.6s over 8 harder jobs) — so past this size the exact attempt is
 /// pure wall-time loss.  Every chart the corpus ever proved sits well
 /// below it (largest observed: ~391k cells, proven by reduction alone).
+/// Re-checked after the transposition-table memo landed
+/// (bench_search_tt's ceiling sweep over harder+hardest jobs): raising
+/// the ceiling 4x alone proves nothing new and costs +68% wall; the one
+/// chart that does newly prove needs a 4x node budget too, at 5.5x
+/// wall.  The ceiling therefore stays; callers chasing proofs raise
+/// cover_cell_limit / cover_node_budget explicitly, and the certified
+/// cover_gap column reports exactly what remains unproven either way.
 inline constexpr std::size_t kExactCellLimit = 524'288;
 
 /// Selects a cover of the ON-set from the function's primes.  The exact
@@ -74,10 +91,19 @@ inline constexpr std::size_t kExactCellLimit = 524'288;
 /// nodes; on overrun the best cover found so far is kept (see
 /// CoverStats::exact), and greedy fills in only when no complete cover
 /// was reached at all.
+///
+/// `tt` (optional) memoizes covering-chart subproblem bounds across
+/// calls; the caller decides how long entries live (core::synthesize
+/// scopes them to one synthesis — see its purity contract).
+/// `exact_cell_limit` overrides the rows*columns ceiling for
+/// attempting the exact completion (exposed so limit experiments can
+/// drive the real pipeline).
 [[nodiscard]] Cover select_cover(
     int num_vars, std::span<const Minterm> on, std::span<const Minterm> dc,
     CoverMode mode, CoverStats* stats = nullptr,
-    std::size_t exact_node_budget = kDefaultExactNodeBudget);
+    std::size_t exact_node_budget = kDefaultExactNodeBudget,
+    search::TranspositionTable* tt = nullptr,
+    std::size_t exact_cell_limit = kExactCellLimit);
 
 /// Convenience: minimum essential-SOP cover (paper's reduction for Z/SSD/Y).
 [[nodiscard]] Cover minimize_sop(int num_vars, std::span<const Minterm> on,

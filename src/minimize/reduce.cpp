@@ -338,18 +338,31 @@ namespace {
 class CoverSearch {
  public:
   CoverSearch(const FlowTable& table, std::vector<PrimeCompatible> primes,
-              std::size_t node_budget)
-      : primes_(std::move(primes)), node_budget_(node_budget),
+              std::size_t node_budget, search::TranspositionTable* tt)
+      : primes_(std::move(primes)), budget_(node_budget), tt_(tt),
         chosen_mask_((primes_.size() + 63) / 64, 0) {
     const int n = table.num_states();
     all_states_ = (n >= 64) ? ~StateSet{0} : ((StateSet{1} << n) - 1);
+    if (tt_ != nullptr) {
+      // The chosen-class *set* determines covered_ and the unmet
+      // obligation set, so a node signature is the root (prime list +
+      // state universe) mixed with a commutative sum of per-index
+      // hashes maintained on push/pop.
+      std::uint64_t h = search::hash_u64(static_cast<std::uint64_t>(n));
+      for (const PrimeCompatible& p : primes_) {
+        h = search::hash_mix(h, p.states);
+        for (const StateSet d : p.implied) h = search::hash_mix(h, d);
+        h = search::hash_mix(h, p.implied.size());
+      }
+      root_sig_ = h;
+    }
   }
 
   std::vector<StateSet> solve(std::size_t* nodes, bool* exact) {
     greedy();  // incumbent
     recurse();
-    if (nodes != nullptr) *nodes = nodes_;
-    if (exact != nullptr) *exact = nodes_ <= node_budget_;
+    if (nodes != nullptr) *nodes = budget_.nodes();
+    if (exact != nullptr) *exact = budget_.exact();
     std::vector<StateSet> result;
     result.reserve(best_.size());
     for (std::size_t i : best_) result.push_back(primes_[i].states);
@@ -395,12 +408,14 @@ class CoverSearch {
     }
     chosen_.push_back(i);
     chosen_mask_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    sig_accum_ += search::hash_u64(static_cast<std::uint64_t>(i) + 1);
   }
 
   void pop() {
     const std::size_t i = chosen_.back();
     chosen_.pop_back();
     chosen_mask_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    sig_accum_ -= search::hash_u64(static_cast<std::uint64_t>(i) + 1);
     const Frame& frame = frames_.back();
     covered_ = frame.prev_covered;
     obligations_.resize(frame.obligation_start);
@@ -448,12 +463,23 @@ class CoverSearch {
   }
 
   void recurse() {
-    if (++nodes_ > node_budget_) return;
+    if (budget_.charge()) return;
     const auto unmet = first_unmet();
     if (chosen_.size() + 1 >= best_.size() && unmet) return;
     if (!unmet) {
       if (chosen_.size() < best_.size()) best_ = chosen_;
       return;
+    }
+    std::uint64_t sig = 0;
+    const std::size_t best_in = best_.size();
+    if (tt_ != nullptr) {
+      sig = search::hash_mix(root_sig_, sig_accum_);
+      if (const auto e = tt_->probe(sig)) {
+        if (search::has_lower(e->bound) &&
+            chosen_.size() + e->value >= best_.size()) {
+          return;
+        }
+      }
     }
     for (std::size_t i = 0; i < primes_.size(); ++i) {
       if ((*unmet & ~primes_[i].states) != 0) continue;
@@ -461,12 +487,31 @@ class CoverSearch {
       push(i);
       recurse();
       pop();
-      if (nodes_ > node_budget_) return;
+      if (budget_.exhausted()) break;
+    }
+    if (tt_ != nullptr) {
+      const std::size_t g = chosen_.size();
+      const std::size_t best_out = best_.size();
+      if (!budget_.exhausted()) {
+        if (best_out < best_in) {
+          tt_->store(sig, search::Bound::kExact,
+                     static_cast<std::uint32_t>(best_out - g));
+        } else {
+          tt_->store(sig, search::Bound::kLower,
+                     static_cast<std::uint32_t>(best_in - g));
+        }
+      } else if (best_out < best_in) {
+        tt_->store(sig, search::Bound::kUpper,
+                   static_cast<std::uint32_t>(best_out - g));
+      }
     }
   }
 
   std::vector<PrimeCompatible> primes_;
-  std::size_t node_budget_;
+  search::NodeBudget budget_;
+  search::TranspositionTable* tt_;
+  std::uint64_t root_sig_ = 0;
+  std::uint64_t sig_accum_ = 0;
   StateSet all_states_ = 0;
 
   StateSet covered_ = 0;
@@ -477,7 +522,6 @@ class CoverSearch {
   std::vector<std::uint32_t> trail_;
 
   std::vector<std::size_t> best_;
-  std::size_t nodes_ = 0;
 };
 
 Trit merged_output_bit(const FlowTable& table, StateSet cls, int column, int bit) {
@@ -574,11 +618,12 @@ ReductionResult build_reduction(const FlowTable& table,
 
 }  // namespace detail
 
-ReductionResult reduce(const FlowTable& table, const ReduceOptions& options) {
+ReductionResult reduce(const FlowTable& table, const ReduceOptions& options,
+                       search::TranspositionTable* tt) {
   detail::validate_output_widths(table);
   const auto rows = compatibility_rows(table);
   auto primes = prime_compatibles(table, rows);
-  CoverSearch search(table, std::move(primes), options.node_budget);
+  CoverSearch search(table, std::move(primes), options.node_budget, tt);
   std::size_t nodes = 0;
   bool exact = true;
   std::vector<StateSet> classes = search.solve(&nodes, &exact);

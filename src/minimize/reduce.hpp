@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "flowtable/table.hpp"
+#include "search/search.hpp"
 
 namespace seance::minimize {
 
@@ -98,8 +99,14 @@ struct ReduceOptions {
 /// normal-mode again (chains introduced by merging are re-normalized).
 /// Throws std::invalid_argument if a specified entry's output vector is
 /// neither empty (= all don't-care) nor exactly num_outputs() wide.
+///
+/// `tt` (optional) memoizes closed-cover subproblem bounds keyed by the
+/// chosen-class set; with `tt == nullptr` the search is node-for-node
+/// identical to the memoization-free engine (the equivalence suite pins
+/// it against the reference oracle).
 [[nodiscard]] ReductionResult reduce(const flowtable::FlowTable& table,
-                                     const ReduceOptions& options = {});
+                                     const ReduceOptions& options = {},
+                                     search::TranspositionTable* tt = nullptr);
 
 /// Checks that `classes` is a closed cover of the table (every state
 /// covered, every implied class inside some chosen class); fills `why` on

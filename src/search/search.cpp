@@ -1,0 +1,141 @@
+#include "search/search.hpp"
+
+namespace seance::search {
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Replacement key for an incoming key of 0 (the empty-slot sentinel).
+constexpr std::uint64_t kZeroKey = 0x9e3779b97f4a7c15ull;
+
+// Linear probe window. Short enough to stay in one or two cache
+// lines, long enough that deterministic home-slot eviction is rare.
+constexpr std::size_t kProbeWindow = 8;
+
+}  // namespace
+
+std::uint64_t fnv64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = kFnvBasis;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t hash_words(const std::uint64_t* words, std::size_t count) {
+  std::uint64_t h = kFnvBasis;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t w = words[i];
+    for (int b = 0; b < 8; ++b) {
+      h ^= w & 0xff;
+      h *= kFnvPrime;
+      w >>= 8;
+    }
+  }
+  return h;
+}
+
+std::uint64_t hash_u64(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
+  return hash_u64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+std::size_t TranspositionTable::slot_count_for(std::size_t bytes) {
+  std::size_t slots = kProbeWindow;
+  while (slots * 2 * sizeof(Slot) <= bytes) slots *= 2;
+  return slots;
+}
+
+TranspositionTable::TranspositionTable(std::size_t bytes) {
+  const std::size_t slots = slot_count_for(bytes);
+  slots_.assign(slots, Slot{});
+  mask_ = slots - 1;
+}
+
+std::optional<TranspositionTable::Entry> TranspositionTable::probe(
+    std::uint64_t key) {
+  if (key == 0) key = kZeroKey;
+  const std::size_t home = static_cast<std::size_t>(key & mask_);
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const Slot& s = slots_[(home + i) & mask_];
+    if (s.key == key) {
+      ++stats_.hits;
+      return Entry{s.bound, s.value};
+    }
+    if (s.key == 0) break;  // never displaced past an empty slot
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void TranspositionTable::store(std::uint64_t key, Bound bound,
+                               std::uint32_t value) {
+  if (bound == Bound::kNone) return;
+  if (key == 0) key = kZeroKey;
+  const std::size_t home = static_cast<std::size_t>(key & mask_);
+  Slot* empty = nullptr;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& s = slots_[(home + i) & mask_];
+    if (s.key == key) {
+      // Merge, keeping the most informative bound. Exact is sticky.
+      if (s.bound == Bound::kExact) return;
+      if (bound == Bound::kExact) {
+        s.bound = bound;
+        s.value = value;
+      } else if (bound == s.bound) {
+        if (bound == Bound::kLower) {
+          if (value > s.value) s.value = value;
+        } else {
+          if (value < s.value) s.value = value;
+        }
+      } else if (value == s.value) {
+        s.bound = Bound::kExact;  // lower meets upper
+      } else if (bound == Bound::kLower) {
+        // Prefer the pruning side: Lower replaces a looser Upper.
+        s.bound = bound;
+        s.value = value;
+      }
+      ++stats_.stores;
+      return;
+    }
+    if (s.key == 0 && empty == nullptr) empty = &s;
+  }
+  Slot* target = empty;
+  if (target == nullptr) {
+    target = &slots_[home];  // deterministic replacement
+    ++stats_.evictions;
+  } else {
+    ++live_;
+  }
+  target->key = key;
+  target->bound = bound;
+  target->value = value;
+  ++stats_.stores;
+}
+
+void TranspositionTable::clear() {
+  slots_.assign(slots_.size(), Slot{});
+  live_ = 0;
+}
+
+std::vector<std::tuple<std::uint64_t, Bound, std::uint32_t>>
+TranspositionTable::dump() const {
+  std::vector<std::tuple<std::uint64_t, Bound, std::uint32_t>> out;
+  out.reserve(live_);
+  for (const Slot& s : slots_) {
+    if (s.key != 0) out.emplace_back(s.key, s.bound, s.value);
+  }
+  return out;
+}
+
+}  // namespace seance::search

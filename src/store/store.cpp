@@ -113,6 +113,8 @@ std::vector<MetricRow> metric_rows(const driver::JobResult& b,
       {"state_vars", b.state_vars, c.state_vars, options.state_var_tolerance},
       {"synthesized_states", b.synthesized_states, c.synthesized_states,
        options.state_var_tolerance},
+      {"cover_cubes", b.cover_cubes, c.cover_cubes, options.cover_tolerance},
+      {"cover_gap", b.cover_gap, c.cover_gap, options.cover_tolerance},
   };
 }
 
@@ -228,8 +230,8 @@ StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
     if (tolerate_partial_tail && last_line && !newline_terminated) break;
     try {
       const std::vector<std::string> f = split_csv_row(lines[i], i);
-      if (f.size() != 17) {
-        fail(i, "expected 17 fields, got " + std::to_string(f.size()));
+      if (f.size() != 19) {
+        fail(i, "expected 19 fields, got " + std::to_string(f.size()));
       }
       driver::JobResult r;
       r.name = f[0];
@@ -251,6 +253,8 @@ StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
       r.ternary_transitions = parse_int(f[14], i);
       r.ternary_a_violations = parse_int(f[15], i);
       r.ternary_b_violations = parse_int(f[16], i);
+      r.cover_cubes = parse_int(f[17], i);
+      r.cover_gap = parse_int(f[18], i);
       stored.report.jobs.push_back(std::move(r));
     } catch (const std::runtime_error&) {
       if (tolerate_partial_tail && last_line) break;

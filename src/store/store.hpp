@@ -32,8 +32,9 @@ namespace seance::store {
 
 /// Bumped whenever the serialized layout changes shape; load() rejects
 /// files written by a different version (golden files are regenerated,
-/// never migrated).
-inline constexpr int kSchemaVersion = 1;
+/// never migrated).  v2: cover_cubes + cover_gap columns (certified
+/// cover-optimality accounting).
+inline constexpr int kSchemaVersion = 2;
 
 /// Canonical one-line spellings used in the metadata header.  Two runs
 /// with equal strings ran the same pipeline configuration.  The
@@ -116,6 +117,7 @@ struct DiffOptions {
   int depth_tolerance = 0;      ///< fsv/y/total depth
   int gate_tolerance = 0;       ///< gate_count
   int state_var_tolerance = 0;  ///< state_vars, synthesized_states
+  int cover_tolerance = 0;      ///< cover_cubes, cover_gap
 };
 
 enum class DeltaKind : std::uint8_t {

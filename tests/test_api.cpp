@@ -71,18 +71,24 @@ TEST(OptionsCodec, RoundTripsEveryField) {
   options.consensus_repair = false;
   options.cover_mode = logic::CoverMode::kGreedy;
   options.cover_node_budget = 123;
+  options.cover_cell_limit = 4096;
   options.assign.ensure_unique = false;
   options.assign.node_budget = 456;
   options.reduce.node_budget = 789;
+  options.tt = false;
+  options.tt_mb = 64;
   const std::string encoded = core::options_to_string(options);
   const core::SynthesisOptions back = core::options_from_string(encoded);
   EXPECT_EQ(core::options_to_string(back), encoded);
   EXPECT_FALSE(back.add_fsv);
   EXPECT_EQ(back.cover_mode, logic::CoverMode::kGreedy);
   EXPECT_EQ(back.cover_node_budget, 123);
+  EXPECT_EQ(back.cover_cell_limit, 4096);
   EXPECT_FALSE(back.assign.ensure_unique);
   EXPECT_EQ(back.assign.node_budget, 456);
   EXPECT_EQ(back.reduce.node_budget, 789);
+  EXPECT_FALSE(back.tt);
+  EXPECT_EQ(back.tt_mb, 64);
 }
 
 TEST(OptionsCodec, PinnedDefaultBytes) {
@@ -90,31 +96,36 @@ TEST(OptionsCodec, PinnedDefaultBytes) {
   // invalidates every cache entry and golden identity, so it must be a
   // deliberate version bump, never drift.
   EXPECT_EQ(core::options_to_string(core::SynthesisOptions{}),
-            "v2 fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
-            "cover-budget=2000000 unique=1 assign-budget=500000 "
-            "reduce-budget=1000000");
+            "v3 fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
+            "cover-budget=2000000 cover-cells=524288 unique=1 "
+            "assign-budget=500000 reduce-budget=1000000 tt=1 tt-mb=16");
 }
 
 TEST(OptionsCodec, AbsentKeysKeepDefaults) {
-  const core::SynthesisOptions back = core::options_from_string("v2 fsv=0");
+  const core::SynthesisOptions back = core::options_from_string("v3 fsv=0");
   EXPECT_FALSE(back.add_fsv);
   EXPECT_TRUE(back.minimize_states);
   EXPECT_EQ(back.cover_node_budget, logic::kDefaultExactNodeBudget);
+  EXPECT_EQ(back.cover_cell_limit, logic::kExactCellLimit);
+  EXPECT_TRUE(back.tt);
+  EXPECT_EQ(back.tt_mb, 16);
 }
 
 TEST(OptionsCodec, RejectsBadInput) {
   // Unknown keys are rejected, not skipped: a key this build does not
   // understand could alias two configurations under one cache key.
-  EXPECT_THROW((void)core::options_from_string("v2 warp=1"),
+  EXPECT_THROW((void)core::options_from_string("v3 warp=1"),
                std::runtime_error);
-  EXPECT_THROW((void)core::options_from_string("v1 fsv=1"),
+  EXPECT_THROW((void)core::options_from_string("v2 fsv=1"),
                std::runtime_error);
   EXPECT_THROW((void)core::options_from_string(""), std::runtime_error);
-  EXPECT_THROW((void)core::options_from_string("v2 fsv=2"),
+  EXPECT_THROW((void)core::options_from_string("v3 fsv=2"),
                std::runtime_error);
-  EXPECT_THROW((void)core::options_from_string("v2 fsv=1 fsv=1"),
+  EXPECT_THROW((void)core::options_from_string("v3 fsv=1 fsv=1"),
                std::runtime_error);
-  EXPECT_THROW((void)core::options_from_string("v2 cover=psychic"),
+  EXPECT_THROW((void)core::options_from_string("v3 cover=psychic"),
+               std::runtime_error);
+  EXPECT_THROW((void)core::options_from_string("v3 tt=maybe"),
                std::runtime_error);
 }
 

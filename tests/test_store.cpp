@@ -229,7 +229,7 @@ TEST(StoreParse, RejectsBadMagicVersionHeaderAndRows) {
   EXPECT_THROW(parse("not a store file\n"), std::runtime_error);
 
   std::string bad_version = good;
-  bad_version.replace(bad_version.find("v1"), 2, "v9");
+  bad_version.replace(bad_version.find("v2"), 2, "v9");
   EXPECT_THROW(parse(bad_version), std::runtime_error);
 
   std::string bad_header = good;
@@ -463,9 +463,9 @@ TEST(StoreDescribe, PinnedSpellings) {
   // cache; changing the synthesis spelling means bumping
   // core::kOptionsEncodingVersion and regenerating the golden corpus.
   EXPECT_EQ(describe(core::SynthesisOptions{}),
-            "v2 fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
-            "cover-budget=2000000 unique=1 assign-budget=500000 "
-            "reduce-budget=1000000");
+            "v3 fsv=1 minimize=1 factor=1 consensus=1 cover=essential-sop "
+            "cover-budget=2000000 cover-cells=524288 unique=1 "
+            "assign-budget=500000 reduce-budget=1000000 tt=1 tt-mb=16");
   EXPECT_EQ(describe(core::SynthesisOptions{}),
             core::options_to_string(core::SynthesisOptions{}));
   EXPECT_EQ(describe(bench_suite::GeneratorOptions{}),

@@ -207,6 +207,11 @@ void add_synthesis_options(OptionTable& table,
              &options.minimize_states, false);
   table.flag("--flat", "skip step 7 factoring (two-level SOP)",
              &options.factor, false);
+  table.flag("--tt-off",
+             "disable search memoization (results identical, searches cold)",
+             &options.tt, false);
+  table.number("--tt-mb", "N", "transposition-table MiB per worker (default 16)",
+               &options.tt_mb);
 }
 
 void add_run_options(OptionTable& table, CorpusFlags& flags) {
@@ -772,6 +777,9 @@ int run_diff(int argc, char** argv) {
                &options.gate_tolerance);
   table.number("--tol-states", "N", "absolute state-var drift tolerance",
                &options.state_var_tolerance);
+  table.number("--tol-cover", "N",
+               "absolute cover_cubes / cover_gap drift tolerance",
+               &options.cover_tolerance);
   table.flag("--quiet", "verdict line only", &quiet);
   switch (table.parse(argc, argv, 2, &paths)) {
     case ParseResult::kHelp: return 0;
