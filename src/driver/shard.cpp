@@ -1,6 +1,7 @@
 #include "driver/shard.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
@@ -68,6 +69,39 @@ ShardPlan ShardPlan::cost_weighted(std::span<const double> costs,
   }
   for (auto& slice : plan.slices) std::sort(slice.begin(), slice.end());
   return plan;
+}
+
+std::string ShardPlan::slice_tag(int index, int total) {
+  return std::to_string(index) + "/" + std::to_string(total);
+}
+
+std::string ShardPlan::slice_file(int index, int total) {
+  return "shard-" + std::to_string(index) + "-of-" + std::to_string(total) +
+         ".csv";
+}
+
+bool ShardPlan::parse_slice_tag(const std::string& tag, int* index,
+                                int* total) {
+  int u = -1;
+  int t = -1;
+  char trailing = '\0';
+  if (std::sscanf(tag.c_str(), "%d/%d%c", &u, &t, &trailing) != 2) {
+    return false;
+  }
+  // sscanf tolerates leading whitespace and "+" signs; the canonical tag
+  // has neither, and round-tripping through slice_tag catches both.
+  if (t < 1 || u < 0 || u >= t) return false;
+  if (slice_tag(u, t) != tag) return false;
+  if (index != nullptr) *index = u;
+  if (total != nullptr) *total = t;
+  return true;
+}
+
+int ShardPlan::lease_units(int job_count, int requested, int fallback) {
+  int units = requested > 0 ? requested : fallback;
+  if (units < 1) units = 1;
+  const int cap = std::max(1, job_count);
+  return std::min(units, cap);
 }
 
 double estimate_cost(const JobSpec& spec) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "driver/batch.hpp"
@@ -52,6 +53,36 @@ struct ShardPlan {
   /// sorted back into submission order.  Deterministic for equal input.
   [[nodiscard]] static ShardPlan cost_weighted(std::span<const double> costs,
                                                int num_shards);
+
+  // ---- Steal-safe slice naming (the fleet/lease currency) ----------------
+  //
+  // A slice's identity must survive being run by *any* process on *any*
+  // machine: the `# shard:` store tag, the lease file, and the per-slice
+  // store file all derive from (index, total) alone — never from the
+  // runner that happens to execute the slice — so a stolen or re-leased
+  // slice merges under exactly the same identity rules as one run by its
+  // original owner.
+
+  /// Canonical slice identity "u/U" — the `# shard:` tag a slice store
+  /// carries regardless of which runner produced it.
+  [[nodiscard]] static std::string slice_tag(int index, int total);
+  /// Canonical per-slice store file name "shard-u-of-U.csv".  Embeds the
+  /// lease-unit total, so re-granulated runs never alias stale files.
+  [[nodiscard]] static std::string slice_file(int index, int total);
+  /// Inverse of slice_tag; false on malformed or out-of-range input
+  /// (index must satisfy 0 <= index < total, total >= 1).
+  [[nodiscard]] static bool parse_slice_tag(const std::string& tag, int* index,
+                                            int* total);
+
+  /// The lease-unit granularity knob: how many round-robin slices the
+  /// corpus is cut into, independent of how many runners or worker
+  /// processes consume them.  `requested` wins when positive; otherwise
+  /// `fallback` (a backend-appropriate default — K for local sharded
+  /// runs, a multiple of the expected runner count for fleets).  The
+  /// result is clamped to [1, max(1, job_count)] so no unit is ever
+  /// empty — every lease names real work.
+  [[nodiscard]] static int lease_units(int job_count, int requested,
+                                       int fallback);
 };
 
 /// A coarse per-job cost estimate for cost_weighted plans: the flow

@@ -102,6 +102,20 @@ FlowTable parse_kiss2(std::string_view text, KissInfo* info) {
     if (static_cast<int>(p.outputs.size()) != num_outputs) {
       fail(p.line_no, "output pattern length != .o");
     }
+    // Characters outside the trit alphabet would silently expand to zero
+    // columns (dropping the product) or surface as an unlocated
+    // trit_from_char error deep inside FlowTable::set — reject them here
+    // with the line number.
+    for (char c : p.inputs) {
+      if (c != '0' && c != '1' && c != '-') {
+        fail(p.line_no, std::string("input pattern character '") + c + "' (want 0/1/-)");
+      }
+    }
+    for (char c : p.outputs) {
+      if (c != '0' && c != '1' && c != '-') {
+        fail(p.line_no, std::string("output character '") + c + "' (want 0/1/-)");
+      }
+    }
   }
   // Two interning passes: states in order of first appearance as a
   // *current* state, then any next-only states.  Synthesis is sensitive

@@ -49,6 +49,12 @@ bool Stg::validate(std::string* why) const {
     if (why != nullptr) *why = "more than 64 places";
     return false;
   }
+  // ExplorationState packs one value bit per signal into a uint32_t; a
+  // 33rd signal would make `1u << tr.signal` undefined in fire().
+  if (signals_.size() > 32) {
+    if (why != nullptr) *why = "more than 32 signals";
+    return false;
+  }
   for (std::size_t t = 0; t < transitions_.size(); ++t) {
     bool has_in = false;
     bool has_out = false;
@@ -68,6 +74,13 @@ bool Stg::validate(std::string* why) const {
   for (const Signal& s : signals_) num_inputs += s.is_input ? 1 : 0;
   if (num_inputs == 0) {
     if (why != nullptr) *why = "no input signals";
+    return false;
+  }
+  // The flow table indexes columns by input valuation; FlowTable caps
+  // inputs at 16, so reject here with an STG-level message instead of
+  // letting the conversion die inside the FlowTable constructor.
+  if (num_inputs > 16) {
+    if (why != nullptr) *why = "more than 16 input signals";
     return false;
   }
   return true;

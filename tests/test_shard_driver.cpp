@@ -322,6 +322,90 @@ TEST_F(ShardCliTest, ShardedBatchCsvMatchesUnshardedAcrossThreadCounts) {
   EXPECT_EQ(read_file(a), read_file(b));
 }
 
+// ---- Fleet-mode tests: the leased orchestration through the CLI. ----
+
+TEST_F(ShardCliTest, LocalLeaseUnitsKeepByteIdentityAcrossShardCounts) {
+  // ProcessBackend with more lease units than worker processes: workers
+  // drain units dynamically instead of owning one fixed slice each.  The
+  // merged CSV must not depend on the worker count or the drain order.
+  const auto unsharded = work_ / "unsharded.csv";
+  const std::string corpus = " batch --no-suite --random 10 --jobs 2 --quiet ";
+  ASSERT_EQ(run_command(cli_ + corpus + "--csv " + quoted(unsharded) +
+                        " > /dev/null 2>&1"),
+            0);
+  const std::string want = read_file(unsharded);
+  ASSERT_FALSE(want.empty());
+
+  for (const int k : {1, 2, 4}) {
+    const auto csv = work_ / ("local-" + std::to_string(k) + ".csv");
+    ASSERT_EQ(run_command(cli_ + corpus + "--shards " + std::to_string(k) +
+                          " --lease-units 6 --shard-dir " +
+                          quoted(work_ / ("shards-" + std::to_string(k))) +
+                          " --csv " + quoted(csv) + " > /dev/null 2>&1"),
+              0)
+        << "K=" << k;
+    EXPECT_EQ(read_file(csv), want) << "K=" << k;
+  }
+}
+
+TEST_F(ShardCliTest, FleetDirMergesByteIdenticallyAcrossRunnerCounts) {
+  const auto unsharded = work_ / "unsharded.csv";
+  const std::string corpus = " batch --no-suite --random 10 --jobs 2 --quiet ";
+  ASSERT_EQ(run_command(cli_ + corpus + "--csv " + quoted(unsharded) +
+                        " > /dev/null 2>&1"),
+            0);
+  const std::string want = read_file(unsharded);
+  ASSERT_FALSE(want.empty());
+
+  for (const int runners : {1, 2, 4}) {
+    const auto fleet_dir = work_ / ("fleet-" + std::to_string(runners));
+    const auto csv = work_ / ("fleet-" + std::to_string(runners) + ".csv");
+    const std::string base =
+        cli_ + corpus + "--lease-units 6 --fleet-dir " + quoted(fleet_dir);
+    // Helper runners are unit-capped and exit without merging (their
+    // report is incomplete by design); the closer resolves the rest —
+    // executing what is left and observing the helpers' units as
+    // completed elsewhere — and writes the merged CSV.
+    for (int r = 0; r + 1 < runners; ++r) {
+      ASSERT_EQ(run_command(base + " --runner-id helper-" + std::to_string(r) +
+                            " --fleet-max-units 2 > /dev/null 2>&1"),
+                0)
+          << "runners=" << runners;
+    }
+    ASSERT_EQ(run_command(base + " --runner-id closer --csv " + quoted(csv) +
+                          " > /dev/null 2>&1"),
+              0)
+        << "runners=" << runners;
+    EXPECT_EQ(read_file(csv), want) << "runners=" << runners;
+  }
+}
+
+TEST_F(ShardCliTest, DeadFleetRunnerIsReLeasedByTheSurvivor) {
+  // Runner m1 dies (hidden test hook: _Exit(3) on its second acquire)
+  // holding a fresh, unserved lease.  m2 must wait out the TTL, re-lease
+  // the dead runner's unit, and still merge byte-identically.
+  const auto unsharded = work_ / "unsharded.csv";
+  const auto csv = work_ / "fleet.csv";
+  const auto m2_log = work_ / "m2.log";
+  // No --quiet here: the assertion below reads the per-unit summary lines.
+  const std::string corpus = " batch --no-suite --random 10 --jobs 2 ";
+  ASSERT_EQ(run_command(cli_ + corpus + "--csv " + quoted(unsharded) +
+                        " > /dev/null 2>&1"),
+            0);
+  const std::string base = cli_ + corpus +
+                           "--lease-units 5 --lease-ttl 300 --fleet-dir " +
+                           quoted(work_ / "fleet");
+  ASSERT_EQ(run_command(base + " --runner-id m1 --fleet-die-after-acquire 1 "
+                        "> /dev/null 2>&1"),
+            3);
+  ASSERT_EQ(run_command(base + " --runner-id m2 --csv " + quoted(csv) + " > " +
+                        quoted(m2_log) + " 2>&1"),
+            0);
+  // The survivor's summary names the re-leased unit.
+  EXPECT_NE(read_file(m2_log).find("(re-leased)"), std::string::npos);
+  EXPECT_EQ(read_file(csv), read_file(unsharded));
+}
+
 #endif  // SEANCE_SHARD_CLI_TESTS
 
 }  // namespace

@@ -128,6 +128,35 @@ class OptionTable {
     return *this;
   }
 
+  /// Marks the most recently added option as orchestrator-side plumbing
+  /// (shard control, output paths, thread budgets) rather than part of
+  /// the corpus recipe.  forwarded_args() strips exactly these, so a new
+  /// orchestrator flag declared here can never leak into worker argv —
+  /// the strip list is generated from the declarations, not maintained
+  /// by hand.
+  OptionTable& orchestrator_only() {
+    entries_.back().orchestrator_only = true;
+    return *this;
+  }
+
+  /// argv[begin..) minus every orchestrator_only() option (and its
+  /// value): the corpus recipe a re-exec'd worker needs to rebuild the
+  /// same jobs.  Positionals and unknown arguments pass through.
+  [[nodiscard]] std::vector<std::string> forwarded_args(int argc, char** argv,
+                                                        int begin) const {
+    std::vector<std::string> out;
+    for (int i = begin; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const Entry* entry = find(arg);
+      if (entry != nullptr && entry->orchestrator_only) {
+        if (entry->takes_value && i + 1 < argc) ++i;
+        continue;
+      }
+      out.push_back(arg);
+    }
+    return out;
+  }
+
   /// Parses argv[begin..).  Non-dashed arguments land in `positionals`
   /// when given, and are unknown-option errors otherwise.
   [[nodiscard]] ParseResult parse(
@@ -193,6 +222,7 @@ class OptionTable {
     std::string help;
     bool takes_value = false;
     bool hidden = false;
+    bool orchestrator_only = false;
     std::function<bool(const std::string&)> apply;
 
     [[nodiscard]] std::string label() const {

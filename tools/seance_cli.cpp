@@ -27,18 +27,26 @@
 // `--emit-requests` writes a corpus as a protocol stream, so any stored
 // recipe doubles as a client workload.
 //
-// Sharded runs (batch and baseline, `--shards K`): the parent re-execs
-// itself as K worker processes (`--shard-worker i/K`, hidden), one per
-// round-robin slice of the corpus (driver::ShardPlan).  Each worker
-// rebuilds the corpus from the same recipe flags, runs only its slice,
-// and streams rows into a per-shard store file (`--shard-dir`), flushing
-// after every job.  The parent reaps the workers, loads each shard file
-// (tolerating the torn tail a crashed worker leaves), and store::merge
-// stitches the rows back into submission order — byte-identical to the
-// single-process report.  A worker that dies loses only the unflushed
-// jobs of its own slice: the parent records those as `crashed` with the
-// worker's exit detail, and `--resume` re-runs only the shards whose
-// store file is missing or partial.
+// Sharded runs (batch and baseline, `--shards K`): the corpus is cut
+// into lease units (driver::ShardPlan round-robin; `--lease-units`) and
+// driven through fleet::FleetRunner — this file contains no process
+// orchestration of its own.  Each acquired unit re-execs this binary as
+// a worker (`--shard-worker u/U`, hidden) that rebuilds the corpus from
+// the forwarded recipe flags, runs only its slice, and streams rows into
+// a per-unit store file, flushing after every job.  The runner loads
+// each unit file (tolerating the torn tail a crashed worker leaves) and
+// store::merge stitches the rows back into submission order —
+// byte-identical to the single-process report.  A worker that dies loses
+// only the unflushed jobs of its own slice (recorded as `crashed` with
+// the exit detail), and `--resume` re-runs only units whose store file
+// is missing or partial.
+//
+// Fleet mode (`--fleet-dir DIR`): the same run coordinated across any
+// number of independent runner processes — one box or many, via a shared
+// directory of lease files (fleet::DirBackend).  Runners self-balance by
+// work stealing, heal dead runners by re-leasing their expired units,
+// and every waiting runner merges the identical report once the fleet
+// resolves.  See README "Fleet mode".
 //
 // Diff exit code: 0 clean, 1 drift or identity mismatch, 2 usage/IO error.
 // Other exit codes: 0 on success (and, with --verify, zero failures), 1
@@ -56,15 +64,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include <cerrno>
 #include <cstdlib>
+#include <memory>
 #include <vector>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/wait.h>
-#include <unistd.h>
-#define SEANCE_HAS_SHARD_EXEC 1
-#endif
 
 #include "api/api.hpp"
 #include "api/cache.hpp"
@@ -73,6 +75,9 @@
 #include "core/synthesize.hpp"
 #include "driver/batch.hpp"
 #include "driver/shard.hpp"
+#include "fleet/dir.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/process.hpp"
 #include "flowtable/kiss.hpp"
 #include "netlist/netlist.hpp"
 #include "option_table.hpp"
@@ -127,6 +132,16 @@ struct CorpusFlags {
   int shards = 0;  ///< worker-process count; 0 = in-process run
   std::string shard_dir = ".seance-shards";  ///< per-shard store files
   bool resume = false;  ///< reuse complete shard files, re-run the rest
+  // Fleet mode: coordinate with other runner processes through lease
+  // files in a shared directory (fleet::DirBackend).
+  std::string fleet_dir;   ///< non-empty enables fleet mode
+  std::string runner_id;   ///< default fleet::default_runner_id()
+  double lease_ttl_ms = 10000;  ///< heartbeat TTL before a lease is stealable
+  int lease_units = 0;  ///< corpus granularity; 0 = K locally, 16 in a fleet
+  // Hidden fleet test hooks: a bounded helper runner, and a runner that
+  // dies (leases left to expire) after its Nth acquire.
+  int fleet_max_units = -1;
+  int fleet_die_after = -1;
   // Worker-protocol flags, set by the orchestrator when it re-execs
   // itself (hidden from --help).
   int shard_worker = -1;  ///< this process runs slice shard_worker...
@@ -215,39 +230,79 @@ void add_synthesis_options(OptionTable& table,
 }
 
 void add_run_options(OptionTable& table, CorpusFlags& flags) {
-  table.number("--jobs", "N", "worker threads (default: hardware concurrency)",
-               &flags.options.threads);
+  // Everything marked orchestrator_only() is per-run plumbing the fleet
+  // layer owns; forwarded_args() strips exactly these from worker argv.
+  table
+      .number("--jobs", "N", "worker threads (default: hardware concurrency)",
+              &flags.options.threads)
+      .orchestrator_only();
   table.flag("--progress", "stream per-job completion lines to stderr",
              &flags.progress);
-  table.number("--shards", "K", "run the corpus across K worker processes",
-               &flags.shards);
-  table.text("--shard-dir", "DIR",
-             "per-shard store files live here (default .seance-shards); "
-             "stable across runs so --resume works",
-             &flags.shard_dir);
-  table.flag("--resume", "reuse complete shard files, re-run missing/partial",
-             &flags.resume);
+  table
+      .number("--shards", "K", "run the corpus across K worker processes",
+              &flags.shards)
+      .orchestrator_only();
+  table
+      .text("--shard-dir", "DIR",
+            "per-shard store files live here (default .seance-shards); "
+            "stable across runs so --resume works",
+            &flags.shard_dir)
+      .orchestrator_only();
+  table
+      .flag("--resume", "reuse complete shard files, re-run missing/partial",
+            &flags.resume)
+      .orchestrator_only();
+  table
+      .text("--fleet-dir", "DIR",
+            "fleet mode: coordinate with other runners through lease files "
+            "in DIR (shared filesystem); implies per-unit stores in DIR",
+            &flags.fleet_dir)
+      .orchestrator_only();
+  table
+      .text("--runner-id", "ID",
+            "this runner's fleet name (default: host-pid)", &flags.runner_id)
+      .orchestrator_only();
+  table
+      .number("--lease-ttl", "MS",
+              "a lease not heartbeaten for MS ms may be re-leased "
+              "(default 10000)",
+              &flags.lease_ttl_ms)
+      .orchestrator_only();
+  table
+      .number("--lease-units", "U",
+              "cut the corpus into U lease units (default: --shards "
+              "locally, 16 in fleet mode)",
+              &flags.lease_units)
+      .orchestrator_only();
+  table.number("--fleet-max-units", "N", "", &flags.fleet_max_units)
+      .hidden()
+      .orchestrator_only();
+  table.number("--fleet-die-after-acquire", "N", "", &flags.fleet_die_after)
+      .hidden()
+      .orchestrator_only();
   table
       .custom("--shard-worker", "i/K", "",
               [&flags](const std::string& v) {
-                char* end = nullptr;
-                const long index = std::strtol(v.c_str(), &end, 10);
-                char* end2 = nullptr;
-                const long total =
-                    *end == '/' ? std::strtol(end + 1, &end2, 10) : 0;
-                if (end == v.c_str() || *end != '/' || end2 == end + 1 ||
-                    *end2 != '\0' || index < 0 || total < 1 || index >= total) {
+                int index = 0;
+                int total = 0;
+                if (!seance::driver::ShardPlan::parse_slice_tag(v, &index,
+                                                                &total)) {
                   std::printf("option --shard-worker needs i/K, got '%s'\n",
                               v.c_str());
                   return false;
                 }
-                flags.shard_worker = static_cast<int>(index);
-                flags.shard_total = static_cast<int>(total);
+                flags.shard_worker = index;
+                flags.shard_total = total;
                 return true;
               })
-      .hidden();
-  table.text("--shard-out", "FILE", "", &flags.shard_out).hidden();
-  table.number("--shard-worker-die-after", "N", "", &flags.die_after).hidden();
+      .hidden()
+      .orchestrator_only();
+  table.text("--shard-out", "FILE", "", &flags.shard_out)
+      .hidden()
+      .orchestrator_only();
+  table.number("--shard-worker-die-after", "N", "", &flags.die_after)
+      .hidden()
+      .orchestrator_only();
   table.flag("--quiet", "totals line only", &flags.quiet);
 }
 
@@ -258,10 +313,19 @@ bool finish_corpus_flags(CorpusFlags& flags) {
     std::printf("option --shards needs a non-negative count\n");
     return false;
   }
-  if (flags.resume && flags.shards <= 0 && flags.shard_worker < 0) {
+  if (flags.resume && flags.shards <= 0 && flags.fleet_dir.empty() &&
+      flags.shard_worker < 0) {
     // A forgotten --shards must not silently downgrade a resume into a
     // full in-process re-run that ignores the healthy shard files.
-    std::printf("--resume requires --shards K\n");
+    std::printf("--resume requires --shards K (or --fleet-dir)\n");
+    return false;
+  }
+  if (flags.lease_ttl_ms <= 0) {
+    std::printf("option --lease-ttl needs a positive duration\n");
+    return false;
+  }
+  if (flags.lease_units < 0) {
+    std::printf("option --lease-units needs a non-negative count\n");
     return false;
   }
   if (flags.progress) {
@@ -310,8 +374,8 @@ int run_shard_worker(const CorpusFlags& flags) {
   }
   seance::store::StoredReport header;
   header.identity = seance::api::corpus_identity(corpus_request(flags));
-  header.identity.shard = std::to_string(flags.shard_worker) + "/" +
-                          std::to_string(flags.shard_total);
+  header.identity.shard = seance::driver::ShardPlan::slice_tag(
+      flags.shard_worker, flags.shard_total);
   out << seance::store::serialize(header);  // metadata + CSV header
   out.flush();
 
@@ -340,96 +404,23 @@ int run_shard_worker(const CorpusFlags& flags) {
   return out ? 0 : 2;
 }
 
-#ifdef SEANCE_HAS_SHARD_EXEC
-
-std::string self_exe_path(const char* argv0) {
-#if defined(__linux__)
-  char buf[4096];
-  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
-#endif
-  return argv0;
-}
-
-/// The parent's argv minus everything that is orchestrator-side only:
-/// shard control, output paths, and --jobs (the parent re-divides the
-/// thread budget across workers).  Everything left is the corpus recipe,
-/// which is exactly what a worker needs to rebuild the same jobs.
-std::vector<std::string> forwarded_corpus_args(int argc, char** argv) {
-  std::vector<std::string> out;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--shards" || arg == "--shard-dir" || arg == "--csv" ||
-        arg == "--out" || arg == "--jobs" || arg == "--shard-worker" ||
-        arg == "--shard-out" || arg == "--shard-worker-die-after" ||
-        arg == "--emit-requests") {
-      if (i + 1 < argc) ++i;
-      continue;
-    }
-    if (arg == "--resume" || arg == "--wall") continue;
-    out.push_back(arg);
+/// Orchestrator half, now one fleet::FleetRunner invocation: cut the
+/// corpus into lease units, acquire and execute them through the lease
+/// backend (local in-memory table, or a shared lease directory in fleet
+/// mode — the CLI owns no process machinery of its own), and merge the
+/// unit stores back into one report in submission order.  Fills `merged`
+/// and sets `report_ready` when the fleet resolved and a merged report
+/// exists (a bounded --fleet-max-units helper exits clean without one);
+/// returns 0, or nonzero after printing why.
+int run_leased(const char* argv0, const char* subcommand,
+               const std::vector<std::string>& recipe, const CorpusFlags& flags,
+               seance::store::StoredReport& merged, bool& report_ready) {
+  report_ready = false;
+  if (!seance::fleet::kHasProcessExec) {
+    std::printf(
+        "--shards needs worker processes, unavailable on this platform\n");
+    return 1;
   }
-  return out;
-}
-
-pid_t spawn_worker(const std::vector<std::string>& args) {
-  std::vector<char*> argvv;
-  argvv.reserve(args.size() + 1);
-  for (const std::string& a : args) argvv.push_back(const_cast<char*>(a.c_str()));
-  argvv.push_back(nullptr);
-  const pid_t pid = fork();
-  if (pid == 0) {
-    // execvp, not execv: when /proc/self/exe is unavailable the exe path
-    // falls back to argv[0], which may be a bare name found via PATH.
-    execvp(argvv[0], argvv.data());
-    std::_Exit(127);  // exec failed; the parent reports the status
-  }
-  return pid;
-}
-
-/// True when `path` holds a complete, identity-matching report for
-/// exactly this slice — the --resume criterion for skipping a shard.
-bool shard_file_complete(const std::string& path,
-                         const seance::store::CorpusIdentity& identity,
-                         const std::string& shard_tag,
-                         std::vector<std::string> slice_names) {
-  seance::store::StoredReport stored;
-  try {
-    stored = seance::store::load(path, /*tolerate_partial_tail=*/true);
-  } catch (const std::exception&) {
-    return false;
-  }
-  if (stored.identity.shard != shard_tag ||
-      !seance::store::identity_mismatches(identity, stored.identity,
-                                          /*ignore_shard=*/true)
-           .empty()) {
-    return false;
-  }
-  if (stored.report.jobs.size() != slice_names.size()) return false;
-  std::vector<std::string> got;
-  got.reserve(stored.report.jobs.size());
-  for (const auto& j : stored.report.jobs) got.push_back(j.name);
-  std::sort(got.begin(), got.end());
-  std::sort(slice_names.begin(), slice_names.end());
-  return got == slice_names;
-}
-
-#endif  // SEANCE_HAS_SHARD_EXEC
-
-/// Orchestrator half: split the corpus round-robin, re-exec one worker
-/// per (non-reusable) slice, reap them, merge the shard stores back into
-/// one report in submission order, and record any lost jobs as crashed
-/// with the worker's exit detail.  Fills `merged` and returns 0, or
-/// returns nonzero after printing why.
-int run_sharded(int argc, char** argv, const CorpusFlags& flags,
-                seance::store::StoredReport& merged) {
-#ifndef SEANCE_HAS_SHARD_EXEC
-  (void)argc;
-  (void)argv;
-  (void)merged;
-  std::printf("--shards needs fork/exec, unavailable on this platform\n");
-  return 1;
-#else
   using Clock = std::chrono::steady_clock;
   const auto ms_since = [](Clock::time_point start) {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -440,7 +431,9 @@ int run_sharded(int argc, char** argv, const CorpusFlags& flags,
   std::vector<seance::driver::JobSpec> corpus;
   if (!load_corpus_jobs(flags, corpus)) return 1;
   std::vector<std::string> names;
+  std::vector<double> costs;
   names.reserve(corpus.size());
+  costs.reserve(corpus.size());
   std::unordered_set<std::string> seen;
   for (const auto& spec : corpus) {
     if (!seen.insert(spec.name).second) {
@@ -449,20 +442,27 @@ int run_sharded(int argc, char** argv, const CorpusFlags& flags,
       return 1;
     }
     names.push_back(spec.name);
+    costs.push_back(seance::driver::estimate_cost(spec));
   }
 
-  const int K = flags.shards;
+  const bool fleet_mode = !flags.fleet_dir.empty();
+  const int K = std::max(1, flags.shards);
+  const int units = seance::driver::ShardPlan::lease_units(
+      static_cast<int>(corpus.size()), flags.lease_units,
+      fleet_mode ? seance::fleet::kDefaultFleetUnits : K);
   const auto plan = seance::driver::ShardPlan::round_robin(
-      static_cast<int>(corpus.size()), K);
+      static_cast<int>(corpus.size()), units);
   const auto identity = seance::api::corpus_identity(corpus_request(flags));
+  const std::string dir = fleet_mode ? flags.fleet_dir : flags.shard_dir;
 
   std::error_code ec;
-  std::filesystem::create_directories(flags.shard_dir, ec);
+  std::filesystem::create_directories(dir, ec);
   if (ec) {
-    std::printf("cannot create shard dir %s: %s\n", flags.shard_dir.c_str(),
+    std::printf("cannot create shard dir %s: %s\n", dir.c_str(),
                 ec.message().c_str());
     return 1;
   }
+  const auto slices = seance::fleet::make_slices(plan, names, costs, dir);
 
   int total_threads = flags.options.threads;
   if (total_threads <= 0) {
@@ -470,141 +470,128 @@ int run_sharded(int argc, char** argv, const CorpusFlags& flags,
   }
   if (total_threads <= 0) total_threads = 1;
   const int worker_threads = std::max(1, total_threads / K);
+  const std::string runner_id = flags.runner_id.empty()
+                                    ? seance::fleet::default_runner_id()
+                                    : flags.runner_id;
 
-  struct ShardState {
-    std::string tag;    ///< "i/K"
-    std::string path;   ///< store file
-    pid_t pid = -1;
-    bool reused = false;
-    Clock::time_point start;
-    double wall_ms = 0.0;
-    std::string exit_detail;  ///< empty = clean exit (or reused/empty slice)
-  };
-  std::vector<ShardState> states(static_cast<std::size_t>(K));
-
-  const std::string exe = self_exe_path(argv[0]);
-  const std::vector<std::string> recipe = forwarded_corpus_args(argc, argv);
-  int live = 0;
-  for (int s = 0; s < K; ++s) {
-    ShardState& state = states[static_cast<std::size_t>(s)];
-    state.tag = std::to_string(s) + "/" + std::to_string(K);
-    state.path = flags.shard_dir + "/shard-" + std::to_string(s) + "-of-" +
-                 std::to_string(K) + ".csv";
-    const auto& slice = plan.slices[static_cast<std::size_t>(s)];
-    if (slice.empty()) continue;
-    if (flags.resume) {
-      std::vector<std::string> slice_names;
-      slice_names.reserve(slice.size());
-      for (const int job : slice) {
-        slice_names.push_back(names[static_cast<std::size_t>(job)]);
-      }
-      if (shard_file_complete(state.path, identity, state.tag,
-                              std::move(slice_names))) {
-        state.reused = true;
-        continue;
-      }
-    }
-    // Drop any stale file first: the worker truncates it only after
-    // rebuilding the corpus, so a worker that dies before that point
-    // must leave a *missing* file, never a previous run's rows that an
-    // identity check cannot distinguish from current.
-    std::filesystem::remove(state.path, ec);
-    std::vector<std::string> args{exe, argv[1]};
-    args.insert(args.end(), recipe.begin(), recipe.end());
-    args.insert(args.end(), {"--shard-worker", state.tag, "--shard-out",
-                             state.path, "--jobs",
-                             std::to_string(worker_threads)});
-    // The crash hook targets worker 0 only — one rogue shard, K-1 healthy.
-    if (s == 0 && flags.die_after >= 0) {
-      args.insert(args.end(), {"--shard-worker-die-after",
-                               std::to_string(flags.die_after)});
-    }
-    state.start = Clock::now();
-    state.pid = spawn_worker(args);
-    if (state.pid < 0) {
-      state.exit_detail = "fork failed";
-      continue;
-    }
-    ++live;
-  }
-
-  while (live > 0) {
-    int status = 0;
-    const pid_t pid = waitpid(-1, &status, 0);
-    if (pid < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    for (ShardState& state : states) {
-      if (state.pid != pid) continue;
-      state.wall_ms = ms_since(state.start);
-      if (WIFSIGNALED(status)) {
-        state.exit_detail =
-            "killed by signal " + std::to_string(WTERMSIG(status));
-      } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
-        state.exit_detail =
-            "exited with status " + std::to_string(WEXITSTATUS(status));
-      }
-      --live;
-      break;
-    }
-  }
-
-  std::vector<seance::store::StoredReport> shard_reports;
-  shard_reports.reserve(states.size());
-  for (int s = 0; s < K; ++s) {
-    ShardState& state = states[static_cast<std::size_t>(s)];
-    if (plan.slices[static_cast<std::size_t>(s)].empty()) continue;
-    try {
-      shard_reports.push_back(
-          seance::store::load(state.path, /*tolerate_partial_tail=*/true));
-    } catch (const std::exception& e) {
-      // No usable file at all: the whole slice is lost; merge will mark it.
-      if (state.exit_detail.empty()) state.exit_detail = e.what();
-    }
-  }
+  // Lease coordination varies by backend; execution is always one worker
+  // subprocess per unit, so a rogue job keeps losing only its own slice.
+  std::unique_ptr<seance::fleet::ShardLease> lease;
   try {
-    merged = seance::store::merge(identity, shard_reports, names);
+    if (fleet_mode) {
+      seance::fleet::DirBackend::Options dir_options;
+      dir_options.runner_id = runner_id;
+      dir_options.lease_ttl_ms = flags.lease_ttl_ms;
+      auto backend =
+          std::make_unique<seance::fleet::DirBackend>(dir, dir_options);
+      backend->bind(identity, units);
+      lease = std::move(backend);
+    } else {
+      lease = std::make_unique<seance::fleet::ProcessBackend>();
+    }
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
     return 1;
   }
 
+  const std::string exe = seance::fleet::self_exe_path(argv0);
+  const std::string sub = subcommand;
+  seance::fleet::ProcessExecutor executor(
+      [&](const seance::fleet::Slice& slice) {
+        std::vector<std::string> args{exe, sub};
+        args.insert(args.end(), recipe.begin(), recipe.end());
+        args.insert(args.end(),
+                    {"--shard-worker", slice.tag, "--shard-out",
+                     slice.store_path, "--jobs",
+                     std::to_string(worker_threads)});
+        // The crash hook targets unit 0 only — one rogue slice, the rest
+        // healthy.
+        if (slice.index == 0 && flags.die_after >= 0) {
+          args.insert(args.end(), {"--shard-worker-die-after",
+                                   std::to_string(flags.die_after)});
+        }
+        return args;
+      });
+
+  seance::fleet::FleetOptions fleet_options;
+  fleet_options.runner_id = runner_id;
+  fleet_options.max_concurrent = K;
+  fleet_options.heartbeat_ms = std::max(50.0, flags.lease_ttl_ms / 3.0);
+  fleet_options.reuse_complete = fleet_mode || flags.resume;
+  fleet_options.wait_for_fleet = flags.fleet_max_units < 0;
+  fleet_options.max_units = flags.fleet_max_units;
+  fleet_options.die_after_acquires = flags.fleet_die_after;
+  fleet_options.identity = identity;
+
+  seance::fleet::FleetRunner runner(*lease, executor, fleet_options);
+  const seance::fleet::FleetReport fleet = runner.run(slices);
+
+  if (!fleet.all_resolved()) {
+    // A bounded helper ran its share; another runner (or a later
+    // invocation) observes fleet completion and merges.
+    if (!flags.quiet) {
+      std::printf(
+          "fleet: %d unit(s) executed, %d reused, %d stolen — fleet "
+          "incomplete, no merged report\n",
+          fleet.executed, fleet.reused, fleet.stolen);
+    }
+    return 0;
+  }
+
+  try {
+    merged = seance::fleet::merge_units(identity, slices, fleet, names);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+
+  std::unordered_map<std::string, std::size_t> row_of;
+  row_of.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) row_of[names[i]] = i;
   double max_wall = 0.0;
-  for (int s = 0; s < K; ++s) {
-    const ShardState& state = states[static_cast<std::size_t>(s)];
-    max_wall = std::max(max_wall, state.wall_ms);
-    const auto& slice = plan.slices[static_cast<std::size_t>(s)];
+  for (std::size_t u = 0; u < slices.size(); ++u) {
+    const auto& slice = slices[u];
+    const auto& unit = fleet.units[u];
+    max_wall = std::max(max_wall, unit.wall_ms);
     int persisted = 0;
-    for (const int job : slice) {
-      auto& r = merged.report.jobs[static_cast<std::size_t>(job)];
-      if (r.status != seance::driver::JobStatus::kCrashed) {
+    for (const auto& name : slice.job_names) {
+      if (merged.report.jobs[row_of.at(name)].status !=
+          seance::driver::JobStatus::kCrashed) {
         ++persisted;
-      } else if (!state.exit_detail.empty()) {
-        r.detail = "shard " + state.tag + " worker " + state.exit_detail;
       }
     }
     if (flags.quiet) continue;
-    if (slice.empty()) {
-      std::printf("shard %s: empty slice\n", state.tag.c_str());
-    } else if (state.reused) {
-      std::printf("shard %s: reused %s (%d jobs)\n", state.tag.c_str(),
-                  state.path.c_str(), persisted);
-    } else if (state.exit_detail.empty()) {
-      std::printf("shard %s: %d jobs reported (%.1f ms)\n", state.tag.c_str(),
-                  persisted, state.wall_ms);
-    } else {
-      std::printf("shard %s: worker %s — %d of %zu jobs persisted\n",
-                  state.tag.c_str(), state.exit_detail.c_str(), persisted,
-                  slice.size());
+    switch (unit.outcome) {
+      case seance::fleet::UnitOutcome::kCompleted:
+        std::printf("shard %s: %d jobs reported (%.1f ms)%s\n",
+                    slice.tag.c_str(), persisted, unit.wall_ms,
+                    unit.stolen ? " (re-leased)" : "");
+        break;
+      case seance::fleet::UnitOutcome::kReused:
+        std::printf("shard %s: reused %s (%d jobs)\n", slice.tag.c_str(),
+                    slice.store_path.c_str(), persisted);
+        break;
+      case seance::fleet::UnitOutcome::kElsewhere:
+        std::printf("shard %s: completed by another runner (%d jobs)\n",
+                    slice.tag.c_str(), persisted);
+        break;
+      case seance::fleet::UnitOutcome::kDead:
+        std::printf("shard %s: worker %s — %d of %zu jobs persisted\n",
+                    slice.tag.c_str(),
+                    unit.exit_detail.empty() ? "attempts exhausted"
+                                             : unit.exit_detail.c_str(),
+                    persisted, slice.job_names.size());
+        break;
+      case seance::fleet::UnitOutcome::kPending:
+        break;  // unreachable: all_resolved() held above
     }
   }
   merged.report.threads_used = worker_threads;
-  merged.report.shards_used = K;
+  merged.report.shards_used = units;
   merged.report.max_shard_wall_ms = max_wall;
   merged.report.wall_ms = ms_since(run_start);
+  report_ready = true;
   return 0;
-#endif  // SEANCE_HAS_SHARD_EXEC
 }
 
 /// batch --emit-requests: the corpus as a serve-protocol request stream
@@ -648,12 +635,15 @@ int run_batch(int argc, char** argv) {
   add_check_options(table, flags);
   add_synthesis_options(table, flags.options.synthesis);
   table.text("--csv", "FILE", "write the per-job report as CSV",
-             &flags.csv_path);
+             &flags.csv_path)
+      .orchestrator_only();
   table.flag("--wall", "include wall_ms in --csv (not byte-stable!)",
-             &flags.wall);
+             &flags.wall)
+      .orchestrator_only();
   table.text("--emit-requests", "FILE",
              "write the corpus as a serve-protocol request stream and exit",
-             &flags.emit_path);
+             &flags.emit_path)
+      .orchestrator_only();
   switch (table.parse(argc, argv, 2)) {
     case ParseResult::kHelp: return 0;
     case ParseResult::kError: usage(); return 1;
@@ -667,7 +657,7 @@ int run_batch(int argc, char** argv) {
   if (!flags.emit_path.empty()) return emit_requests(flags, flags.emit_path);
 
   seance::driver::BatchReport report;
-  if (flags.shards > 0) {
+  if (flags.shards > 0 || !flags.fleet_dir.empty()) {
     if (flags.wall) {
       // Shard stores never persist per-job wall times (they are not a
       // pure function of the spec), so a merged --wall column would be
@@ -676,8 +666,12 @@ int run_batch(int argc, char** argv) {
       return 1;
     }
     seance::store::StoredReport merged;
-    const int rc = run_sharded(argc, argv, flags, merged);
+    bool report_ready = false;
+    const int rc = run_leased(argv[0], argv[1],
+                              table.forwarded_args(argc, argv, 2), flags,
+                              merged, report_ready);
     if (rc != 0) return rc;
+    if (!report_ready) return 0;  // bounded helper runner: nothing to print
     report = std::move(merged.report);
   } else {
     try {
@@ -709,7 +703,8 @@ int run_baseline(int argc, char** argv) {
   add_check_options(table, flags);
   add_synthesis_options(table, flags.options.synthesis);
   table.text("--out", "FILE", "write the persisted regression store (required)",
-             &flags.out_path);
+             &flags.out_path)
+      .orchestrator_only();
   switch (table.parse(argc, argv, 2)) {
     case ParseResult::kHelp: return 0;
     case ParseResult::kError: usage(); return 1;
@@ -727,9 +722,13 @@ int run_baseline(int argc, char** argv) {
   }
 
   seance::store::StoredReport stored;
-  if (flags.shards > 0) {
-    const int rc = run_sharded(argc, argv, flags, stored);
+  if (flags.shards > 0 || !flags.fleet_dir.empty()) {
+    bool report_ready = false;
+    const int rc = run_leased(argv[0], argv[1],
+                              table.forwarded_args(argc, argv, 2), flags,
+                              stored, report_ready);
     if (rc != 0) return rc;
+    if (!report_ready) return 0;  // bounded helper runner: nothing to save
   } else {
     try {
       stored.identity = seance::api::corpus_identity(corpus_request(flags));
