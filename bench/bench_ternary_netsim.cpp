@@ -1,0 +1,116 @@
+// Gate-level vs cover-level Eichelberger verification cost.
+//
+// The cover-level verifier (sim/ternary_verify) evaluates the machine's
+// SOP covers / factored expressions directly; the gate-level verifier
+// (sim/ternary_netsim) re-derives every verdict from the exported
+// netlist, one memoized cone evaluation per feedback cut per fixpoint
+// pass.  Both walk the same transitions and must agree exactly; the
+// interesting number is what the structural detour costs per transition.
+// The summary table also reports the full loop the CI gate runs per
+// corpus job: export -> parse_verilog -> gate-level verify.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesize.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/ternary_netsim.hpp"
+#include "sim/ternary_verify.hpp"
+
+namespace {
+
+using seance::bench_suite::table1_suite;
+
+void print_comparison() {
+  std::printf(
+      "\n=== Eichelberger verification: covers vs exported netlist ===\n");
+  std::printf("%-14s | %11s | %5s | %5s | %7s | %10s\n", "Benchmark",
+              "transitions", "A", "B", "agree", "gates");
+  std::printf(
+      "---------------+-------------+-------+-------+---------+-----------\n");
+  for (const auto& bench : table1_suite()) {
+    const auto table = seance::bench_suite::load(bench);
+    const auto machine = seance::core::synthesize(table);
+    const auto cover = seance::sim::ternary_verify(machine);
+    seance::netlist::Netlist netlist;
+    (void)seance::netlist::build_fantom(machine, netlist);
+    const auto reimported = seance::netlist::parse_verilog(
+        seance::netlist::to_verilog(netlist, "fantom"));
+    const auto gate = seance::sim::gate_ternary_verify(reimported, machine);
+    const bool agree =
+        cover.procedure_a_violations == gate.procedure_a_violations &&
+        cover.procedure_b_violations == gate.procedure_b_violations &&
+        cover.transitions_checked == gate.transitions_checked;
+    std::printf("%-14s | %11d | %5d | %5d | %7s | %10d\n", bench.name.c_str(),
+                gate.transitions_checked, gate.procedure_a_violations,
+                gate.procedure_b_violations, agree ? "yes" : "NO",
+                reimported.stats().logic_gates);
+  }
+  std::printf("\n");
+}
+
+void BM_CoverTernary(benchmark::State& state) {
+  const auto& bench = table1_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto machine =
+      seance::core::synthesize(seance::bench_suite::load(bench));
+  std::int64_t transitions = 0;
+  for (auto _ : state) {
+    const auto report = seance::sim::ternary_verify(machine);
+    transitions += report.transitions_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["transitions_per_s"] = benchmark::Counter(
+      static_cast<double>(transitions), benchmark::Counter::kIsRate);
+  state.SetLabel(bench.name);
+}
+
+void BM_GateTernary(benchmark::State& state) {
+  const auto& bench = table1_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto machine =
+      seance::core::synthesize(seance::bench_suite::load(bench));
+  seance::netlist::Netlist netlist;
+  (void)seance::netlist::build_fantom(machine, netlist);
+  std::int64_t transitions = 0;
+  for (auto _ : state) {
+    const auto report = seance::sim::gate_ternary_verify(netlist, machine);
+    transitions += report.transitions_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["transitions_per_s"] = benchmark::Counter(
+      static_cast<double>(transitions), benchmark::Counter::kIsRate);
+  state.SetLabel(bench.name);
+}
+
+// The whole per-job CI gate: export, re-import, verify the re-import.
+void BM_RoundTripVerify(benchmark::State& state) {
+  const auto& bench = table1_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto machine =
+      seance::core::synthesize(seance::bench_suite::load(bench));
+  for (auto _ : state) {
+    seance::netlist::Netlist netlist;
+    (void)seance::netlist::build_fantom(machine, netlist);
+    const std::string verilog = seance::netlist::to_verilog(netlist, "fantom");
+    const auto reimported = seance::netlist::parse_verilog(verilog);
+    const auto report = seance::sim::gate_ternary_verify(reimported, machine);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(bench.name);
+}
+
+BENCHMARK(BM_CoverTernary)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GateTernary)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RoundTripVerify)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -80,6 +80,7 @@ driver::BatchOptions checks_of(const SynthesisRequest& request) {
   checks.verify = request.verify;
   checks.ternary = request.ternary;
   checks.ternary_strict = request.ternary_strict;
+  checks.gate_ternary = request.gate_ternary;
   checks.job_timeout_ms = request.timeout_ms;
   checks.synthesis = request.options;
   return checks;

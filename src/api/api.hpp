@@ -70,6 +70,9 @@ struct SynthesisRequest {
   bool verify = true;
   bool ternary = true;
   bool ternary_strict = false;
+  /// Gate-level ternary over the Verilog round trip (BatchOptions::
+  /// gate_ternary); fills the gate_ternary_a/b columns of the row.
+  bool gate_ternary = false;
   double timeout_ms = 0;  ///< per-job watchdog; 0 = none
 
   /// Keep the synthesized FantomMachine in the response (report text,
@@ -85,7 +88,7 @@ struct SynthesisResponse {
 };
 
 /// Check-set half of a BatchOptions in the canonical identity spelling
-/// (store::describe order: verify/ternary/strict/timeout-ms).
+/// (store::describe order: verify/ternary/gate/strict/timeout-ms).
 [[nodiscard]] driver::BatchOptions checks_of(const SynthesisRequest& request);
 
 /// The content address of a request:

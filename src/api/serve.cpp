@@ -50,6 +50,7 @@ void handle_request(std::istream& in, std::ostream& out,
   request.verify = config.verify;
   request.ternary = config.ternary;
   request.ternary_strict = config.ternary_strict;
+  request.gate_ternary = config.gate_ternary;
   request.timeout_ms = config.timeout_ms;
 
   std::string line;
@@ -115,12 +116,14 @@ void handle_request(std::istream& in, std::ostream& out,
       << "\nROW " << driver::to_csv_row(response.row) << "\nEND\n"
       << std::flush;
   ++stats.requests;
+  if (config.gate_ternary) ++stats.gate_ternary;
 }
 
 void send_stats(std::ostream& out, const ServeStats& stats,
                 const ResultCache* cache,
                 const search::TranspositionTable* tt) {
-  out << "STATS requests=" << stats.requests << " errors=" << stats.errors;
+  out << "STATS requests=" << stats.requests << " errors=" << stats.errors
+      << " gate-ternary=" << stats.gate_ternary;
   if (cache != nullptr) {
     const CacheStats& c = cache->stats();
     out << " hits=" << c.hits << " warm-hits=" << c.warm_hits
@@ -291,6 +294,7 @@ ServeStats serve_unix_socket(const std::string& path,
           serve_impl(in, out, config, cache, tt.get(), &shutdown);
       total.requests += stats.requests;
       total.errors += stats.errors;
+      total.gate_ternary += stats.gate_ternary;
     }  // flushes the tail before close
     ::close(conn);
   }

@@ -42,12 +42,17 @@ struct ServeConfig {
   bool verify = true;
   bool ternary = true;
   bool ternary_strict = false;
+  /// Gate-level ternary over the Verilog round trip for every request.
+  bool gate_ternary = false;
   double timeout_ms = 0;  ///< per-job watchdog; 0 = none
 };
 
 struct ServeStats {
   std::uint64_t requests = 0;  ///< REQ exchanges answered with a RES
   std::uint64_t errors = 0;    ///< exchanges answered with an ERR
+  /// RES-answered exchanges that ran the gate-level ternary pass (the
+  /// round-trip loop is per-request work worth watching in production).
+  std::uint64_t gate_ternary = 0;
 };
 
 /// Serves `in`/`out` until EOF or QUIT.  `cache` may be null (every

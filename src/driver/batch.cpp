@@ -13,6 +13,9 @@
 
 #include "bench_suite/benchmarks.hpp"
 #include "flowtable/kiss.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/ternary_netsim.hpp"
 #include "sim/ternary_verify.hpp"
 
 namespace seance::driver {
@@ -169,14 +172,15 @@ std::string to_csv_row(const JobResult& j) {
   // truncate the row; only the bounded numeric tail uses the buffer.
   char metrics[256];
   std::snprintf(metrics, sizeof(metrics),
-                ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+                ",%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
                 to_string(j.status), j.num_inputs, j.num_outputs,
                 j.input_states, j.synthesized_states, j.state_vars,
                 j.fl_hazards, j.var_hazards, j.depth.fsv_depth,
                 j.depth.y_depth, j.depth.total_depth, j.gate_count,
                 j.equations_verified ? 1 : 0, j.ternary_transitions,
                 j.ternary_a_violations, j.ternary_b_violations,
-                j.cover_cubes, j.cover_gap);
+                j.cover_cubes, j.cover_gap, j.gate_ternary_a_violations,
+                j.gate_ternary_b_violations);
   std::string out = csv_escape(j.name);
   out += metrics;
   return out;
@@ -353,6 +357,29 @@ JobResult BatchRunner::run_job(const JobSpec& spec, const BatchOptions& options,
       if (options.ternary_strict && !ternary.clean() && spec.options.add_fsv) {
         r.status = JobStatus::kHazardUnclean;
         r.detail = ternary.first_failure;
+      }
+    }
+    if (options.gate_ternary && r.status == JobStatus::kOk) {
+      // The gate-level pass deliberately runs on the *re-imported*
+      // netlist, so every gated job exercises the whole loop: build ->
+      // to_verilog -> parse_verilog -> gate_ternary_verify.  Export or
+      // parse errors surface as kSynthesisError like any other throw.
+      netlist::Netlist built;
+      (void)netlist::build_fantom(machine, built);
+      const std::string verilog = netlist::to_verilog(built, "fantom");
+      const netlist::Netlist reimported = netlist::parse_verilog(verilog);
+      if (netlist::to_verilog(reimported, "fantom") != verilog) {
+        r.status = JobStatus::kVerifyFailed;
+        r.detail = "verilog round trip is not byte-stable";
+      } else {
+        const sim::TernaryReport gate =
+            sim::gate_ternary_verify(reimported, machine);
+        r.gate_ternary_a_violations = gate.procedure_a_violations;
+        r.gate_ternary_b_violations = gate.procedure_b_violations;
+        if (options.ternary_strict && !gate.clean() && spec.options.add_fsv) {
+          r.status = JobStatus::kHazardUnclean;
+          r.detail = gate.first_failure;
+        }
       }
     }
     if (machine_out) *machine_out = machine;

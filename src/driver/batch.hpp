@@ -62,7 +62,7 @@ inline constexpr std::string_view kCsvHeader =
     "name,status,inputs,outputs,input_states,synthesized_states,state_vars,"
     "fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,gate_count,"
     "equations_verified,ternary_transitions,ternary_a,ternary_b,"
-    "cover_cubes,cover_gap";
+    "cover_cubes,cover_gap,gate_ternary_a,gate_ternary_b";
 
 /// The harder canonical generator shape (ROADMAP: 8 states / 4 inputs).
 /// `seance_cli --hard N` and the golden corpus batch exactly this shape —
@@ -138,6 +138,13 @@ struct JobResult {
   int ternary_transitions = 0;
   int ternary_a_violations = 0;
   int ternary_b_violations = 0;
+  /// Gate-level Eichelberger counts (BatchOptions::gate_ternary): the
+  /// machine's netlist is exported to Verilog, re-imported, and verified
+  /// at the gate level, so these columns witness the full round trip.
+  /// They must equal the cover-level columns on every corpus job — the
+  /// CI drift gate diffs both pairs.  Zero when the pass did not run.
+  int gate_ternary_a_violations = 0;
+  int gate_ternary_b_violations = 0;
 
   // Certified cover-optimality accounting (core::CoverBounds): summed
   // cover sizes over the minimized Z/SSD/Y charts and the summed
@@ -200,6 +207,12 @@ struct BatchOptions {
   /// Off by default: procedure A/B are conservative over MIC intermediates
   /// (see test_ternary_verify), so flags are metrics, not verdicts.
   bool ternary_strict = false;
+  /// Also run the gate-level ternary pass (sim::gate_ternary_verify) on
+  /// the netlist re-imported from its own Verilog export, closing the
+  /// export -> parse -> verify loop per job.  The re-export must be
+  /// byte-identical (kVerifyFailed otherwise), and under ternary_strict
+  /// gate-level flags gate exactly like cover-level ones.
+  bool gate_ternary = false;
   /// Per-job wall-clock budget in milliseconds; 0 disables the watchdog.
   /// A job that overruns is recorded as kTimeout and its worker thread is
   /// abandoned (synthesis has no cancellation points), so one pathological

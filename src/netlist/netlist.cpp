@@ -1,5 +1,6 @@
 #include "netlist/netlist.hpp"
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,6 +27,39 @@ const char* to_string(GateKind kind) {
       return "NOR";
   }
   return "?";
+}
+
+Netlist Netlist::from_gates(std::vector<Gate> gates,
+                            std::map<std::string, int> outputs) {
+  const int size = static_cast<int>(gates.size());
+  for (int i = 0; i < size; ++i) {
+    const Gate& g = gates[static_cast<std::size_t>(i)];
+    for (const int f : g.fanin) {
+      if (f < 0 || f >= size) {
+        throw std::invalid_argument("from_gates: gate n" + std::to_string(i) +
+                                    " has out-of-range fanin n" +
+                                    std::to_string(f));
+      }
+      if (f >= i && g.kind != GateKind::kBuf) {
+        throw std::invalid_argument(
+            "from_gates: gate n" + std::to_string(i) + " (" +
+            netlist::to_string(g.kind) +
+            ") forward-references n" + std::to_string(f) +
+            " — feedback is only legal through a BUF");
+      }
+    }
+  }
+  for (const auto& [name, net] : outputs) {
+    if (net < 0 || net >= size) {
+      throw std::invalid_argument("from_gates: output '" + name +
+                                  "' names out-of-range net n" +
+                                  std::to_string(net));
+    }
+  }
+  Netlist n;
+  n.gates_ = std::move(gates);
+  n.outputs_ = std::move(outputs);
+  return n;
 }
 
 int Netlist::add_input(std::string name) {
@@ -121,7 +155,100 @@ std::string Netlist::to_string() const {
   return out.str();
 }
 
+namespace {
+
+/// Verilog-2001 reserved words a port name must never shadow (the subset
+/// is deliberately generous: any hit gains a trailing '_').
+bool is_verilog_keyword(const std::string& s) {
+  static const char* const kKeywords[] = {
+      "always",   "and",      "assign",   "begin",  "buf",       "case",
+      "default",  "defparam", "else",     "end",    "endcase",   "endmodule",
+      "for",      "function", "if",       "inout",  "initial",   "input",
+      "integer",  "module",   "nand",     "negedge", "nor",      "not",
+      "or",       "output",   "parameter", "posedge", "reg",     "signed",
+      "supply0",  "supply1",  "table",    "task",   "tri",       "wand",
+      "while",    "wire",     "wor",      "xnor",   "xor"};
+  for (const char* k : kKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// True for the internal wire spelling n<digits> — input ports must not
+/// alias it (an input literally named "n7" would silently short to wire
+/// n7 in the emitted module).
+bool is_internal_wire_name(const std::string& s) {
+  if (s.size() < 2 || s[0] != 'n') return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+/// Deterministic identifier sanitization: invalid characters become '_',
+/// a leading digit/'$' gets a '_' prefix, empty stays empty (the caller
+/// substitutes a positional default first).
+std::string sanitize_identifier(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '$';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && ((out[0] >= '0' && out[0] <= '9') || out[0] == '$')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Netlist shapes to_verilog cannot express: a BUF/NOT without exactly
+/// one fanin (an unconnected placeholder, or a malformed gate) and a
+/// zero-fanin AND/OR/NOR (`assign n = ;`).  Checked up front so the
+/// error names the gate instead of surfacing as std::out_of_range or
+/// silently malformed output.
+void validate_for_verilog(const Netlist& netlist) {
+  for (int i = 0; i < netlist.size(); ++i) {
+    const Gate& g = netlist.gates()[static_cast<std::size_t>(i)];
+    const auto gate_label = [&] {
+      std::string label = "gate n" + std::to_string(i) + " (" +
+                          netlist::to_string(g.kind);
+      if (!g.name.empty()) label += " '" + g.name + "'";
+      label += ")";
+      return label;
+    };
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kConst:
+        break;
+      case GateKind::kBuf:
+      case GateKind::kNot:
+        if (g.fanin.size() != 1) {
+          throw std::invalid_argument(
+              "to_verilog: " + gate_label() + " has " +
+              std::to_string(g.fanin.size()) +
+              " fanin nets, expected exactly 1" +
+              (g.fanin.empty() ? " — unconnected feedback placeholder?" : ""));
+        }
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr:
+      case GateKind::kNor:
+        if (g.fanin.empty()) {
+          throw std::invalid_argument("to_verilog: " + gate_label() +
+                                      " has no fanin — the assignment would "
+                                      "have an empty right-hand side");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 std::string to_verilog(const Netlist& netlist, const std::string& module_name) {
+  validate_for_verilog(netlist);
+
   std::ostringstream out;
   std::vector<int> inputs;
   for (int i = 0; i < netlist.size(); ++i) {
@@ -129,9 +256,37 @@ std::string to_verilog(const Netlist& netlist, const std::string& module_name) {
       inputs.push_back(i);
     }
   }
+
+  // Port naming: sanitize, then uniquify against keywords, the internal
+  // n<digits> wire pattern, and earlier ports by appending '_'.  Inputs
+  // first (in net order), then outputs (map order) — the emission order
+  // below, so the mapping is deterministic and pinned by test.
+  std::vector<std::string> port_of(static_cast<std::size_t>(netlist.size()));
+  std::set<std::string> used;
+  for (const int i : inputs) {
+    const Gate& g = netlist.gates()[static_cast<std::size_t>(i)];
+    std::string name =
+        sanitize_identifier(g.name.empty() ? "in" + std::to_string(i) : g.name);
+    if (name.empty()) name = "in" + std::to_string(i);
+    while (is_verilog_keyword(name) || is_internal_wire_name(name) ||
+           used.count(name) != 0) {
+      name += '_';
+    }
+    used.insert(name);
+    port_of[static_cast<std::size_t>(i)] = std::move(name);
+  }
+  std::map<std::string, std::string> output_port;
+  for (const auto& [name, net] : netlist.outputs()) {
+    (void)net;
+    std::string port = "o_" + sanitize_identifier(name);
+    while (used.count(port) != 0) port += '_';
+    used.insert(port);
+    output_port[name] = std::move(port);
+  }
+
   const auto net_name = [&](int i) {
     const Gate& g = netlist.gates()[static_cast<std::size_t>(i)];
-    if (g.kind == GateKind::kInput) return g.name.empty() ? "in" + std::to_string(i) : g.name;
+    if (g.kind == GateKind::kInput) return port_of[static_cast<std::size_t>(i)];
     return "n" + std::to_string(i);
   };
 
@@ -143,7 +298,8 @@ std::string to_verilog(const Netlist& netlist, const std::string& module_name) {
   }
   for (const auto& [name, net] : netlist.outputs()) {
     (void)net;
-    out << (first ? "  output wire " : ",\n  output wire ") << "o_" << name;
+    out << (first ? "  output wire " : ",\n  output wire ")
+        << output_port.at(name);
     first = false;
   }
   out << "\n);\n";
@@ -184,7 +340,8 @@ std::string to_verilog(const Netlist& netlist, const std::string& module_name) {
     }
   }
   for (const auto& [name, net] : netlist.outputs()) {
-    out << "  assign o_" << name << " = " << net_name(net) << ";\n";
+    out << "  assign " << output_port.at(name) << " = " << net_name(net)
+        << ";\n";
   }
   out << "endmodule\n";
   return out.str();
@@ -211,6 +368,14 @@ FantomNets build_fantom(const core::FantomMachine& machine, Netlist& netlist) {
 
   nets.fsv_range.begin = netlist.size();
   nets.fsv = netlist.add_expr(machine.fsv.expr, xy_nets, "fsv");
+  // When the fsv expression collapses to a bare variable, add_expr hands
+  // back that variable's net — an input or a y feedback wire.  Anchor it
+  // behind a BUF so fsv is always a distinct net: the ternary netlist
+  // verifier pins the fsv *net* low during Procedure A (the paper's
+  // protection window), which must never also pin an input or state wire.
+  if (nets.fsv < nets.fsv_range.begin) {
+    nets.fsv = netlist.add_gate(GateKind::kBuf, {nets.fsv}, "fsv");
+  }
   nets.fsv_range.end = netlist.size();
 
   nets.ssd_range.begin = netlist.size();

@@ -34,6 +34,16 @@ struct Gate {
 
 class Netlist {
  public:
+  /// Wholesale construction from a pre-built gate vector (the structural
+  /// Verilog reader reconstructs nets at their original indices, which
+  /// the incremental builders cannot express).  Validates what the
+  /// builders guarantee: every fanin index in range, and forward
+  /// references (fanin index >= gate index) only through BUFs — the
+  /// feedback-only-through-placeholders invariant the ternary netlist
+  /// verifier cuts on.  Throws std::invalid_argument naming the offender.
+  [[nodiscard]] static Netlist from_gates(std::vector<Gate> gates,
+                                          std::map<std::string, int> outputs);
+
   [[nodiscard]] int add_input(std::string name);
   [[nodiscard]] int add_const(bool value);
   [[nodiscard]] int add_gate(GateKind kind, std::vector<int> fanin,
@@ -106,6 +116,15 @@ struct FantomNets {
 /// become plain wire assignments (the extended SI model's latch-free
 /// feedback).  Gate primitives are emitted as continuous assignments so
 /// the module elaborates under any Verilog-2001 tool.
+///
+/// Port names are sanitized and uniquified: characters outside
+/// [A-Za-z0-9_$] become '_', a leading digit/'$' gets a '_' prefix, and a
+/// result that is a Verilog keyword, matches the internal wire pattern
+/// n<digits>, or collides with an earlier port gains trailing '_' until
+/// unique (deterministic, pinned by test).  Throws std::invalid_argument
+/// naming the gate when the netlist is not exportable: a BUF/NOT without
+/// exactly one fanin (an unconnected placeholder) or a zero-fanin
+/// AND/OR/NOR, which would emit `assign n = ;`.
 [[nodiscard]] std::string to_verilog(const Netlist& netlist,
                                      const std::string& module_name);
 

@@ -1,0 +1,359 @@
+#include "netlist/verilog.hpp"
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace seance::netlist {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw std::runtime_error("parse_verilog: line " + std::to_string(line) +
+                           ": " + why);
+}
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == '$';
+}
+
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+
+/// Identifiers, the two constant literals, and single-character
+/// punctuation; `//` comments run to end of line.
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      // Sized binary literal: 1'b0 / 1'b1 is the only number to_verilog
+      // emits; anything else is rejected where it is consumed.
+      std::size_t j = i + 1;
+      while (j < text.size() &&
+             (is_ident_char(text[j]) || text[j] == '\'')) {
+        ++j;
+      }
+      tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': case ')': case ',': case ';': case '=': case '~':
+      case '&': case '|':
+        tokens.push_back({std::string(1, c), line});
+        ++i;
+        break;
+      default:
+        fail(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  return tokens;
+}
+
+/// Cursor over the token stream with one-line error reporting.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] const Token& peek() const {
+    if (done()) fail(last_line(), "unexpected end of input");
+    return tokens_[pos_];
+  }
+  Token next() {
+    const Token t = peek();
+    ++pos_;
+    return t;
+  }
+  Token expect(const std::string& text) {
+    const Token t = next();
+    if (t.text != text) fail(t.line, "expected '" + text + "', got '" + t.text + "'");
+    return t;
+  }
+  Token expect_ident() {
+    const Token t = next();
+    if (t.text.empty() || !is_ident_start(t.text[0])) {
+      fail(t.line, "expected an identifier, got '" + t.text + "'");
+    }
+    return t;
+  }
+  [[nodiscard]] int last_line() const {
+    return tokens_.empty() ? 1 : tokens_.back().line;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// n<digits> -> index, or -1 when the name is not an internal wire.
+int wire_index(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'n') return -1;
+  long value = 0;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    if (value > 10'000'000) return -1;  // caps the reconstructed size
+  }
+  return static_cast<int>(value);
+}
+
+struct ParsedAssign {
+  GateKind kind = GateKind::kBuf;
+  bool const_value = false;
+  std::vector<Token> fanin;  ///< operand identifiers, unresolved
+  int line = 0;
+};
+
+/// One continuous-assignment right-hand side (`=` consumed, stops at `;`).
+ParsedAssign parse_rhs(Parser& p) {
+  ParsedAssign a;
+  Token t = p.next();
+  a.line = t.line;
+  if (t.text == "1'b0" || t.text == "1'b1") {
+    a.kind = GateKind::kConst;
+    a.const_value = t.text == "1'b1";
+    p.expect(";");
+    return a;
+  }
+  if (t.text == "~") {
+    if (p.peek().text == "(") {
+      p.expect("(");
+      a.kind = GateKind::kNor;
+      a.fanin.push_back(p.expect_ident());
+      while (p.peek().text == "|") {
+        p.expect("|");
+        a.fanin.push_back(p.expect_ident());
+      }
+      p.expect(")");
+    } else {
+      a.kind = GateKind::kNot;
+      a.fanin.push_back(p.expect_ident());
+    }
+    p.expect(";");
+    return a;
+  }
+  if (t.text.empty() || !is_ident_start(t.text[0])) {
+    fail(t.line, "expected an operand, got '" + t.text + "'");
+  }
+  a.fanin.push_back(t);
+  const std::string op = p.peek().text;
+  if (op == "&" || op == "|") {
+    a.kind = op == "&" ? GateKind::kAnd : GateKind::kOr;
+    while (p.peek().text == op) {
+      p.expect(op);
+      a.fanin.push_back(p.expect_ident());
+    }
+    if (p.peek().text == "&" || p.peek().text == "|") {
+      fail(p.peek().line, "mixed '&'/'|' without parentheses");
+    }
+  } else {
+    a.kind = GateKind::kBuf;
+  }
+  p.expect(";");
+  return a;
+}
+
+}  // namespace
+
+Netlist parse_verilog(const std::string& text) {
+  Parser p(tokenize(text));
+
+  p.expect("module");
+  p.expect_ident();  // module name: not part of the netlist
+  p.expect("(");
+
+  std::vector<Token> input_ports;
+  std::vector<Token> output_ports;
+  if (p.peek().text != ")") {
+    while (true) {
+      const Token dir = p.next();
+      const bool is_input = dir.text == "input";
+      if (!is_input && dir.text != "output") {
+        fail(dir.line, "expected 'input' or 'output', got '" + dir.text + "'");
+      }
+      if (p.peek().text == "wire") p.expect("wire");
+      const Token name = p.expect_ident();
+      (is_input ? input_ports : output_ports).push_back(name);
+      if (p.peek().text != ",") break;
+      p.expect(",");
+    }
+  }
+  p.expect(")");
+  p.expect(";");
+
+  // Body: wire declarations and assigns, in any order (to_verilog emits
+  // all wires first, but feedback means assigns reference wires declared
+  // anywhere, so collect everything before building).
+  std::map<int, Token> wires;                 // index -> declaration token
+  std::map<std::string, ParsedAssign> assigns;  // lhs name -> rhs
+  while (p.peek().text != "endmodule") {
+    const Token t = p.next();
+    if (t.text == "wire") {
+      while (true) {
+        const Token name = p.expect_ident();
+        const int index = wire_index(name.text);
+        if (index < 0) {
+          fail(name.line, "wire '" + name.text +
+                              "' is not of the internal form n<index>");
+        }
+        if (!wires.emplace(index, name).second) {
+          fail(name.line, "duplicate wire '" + name.text + "'");
+        }
+        if (p.peek().text != ",") break;
+        p.expect(",");
+      }
+      p.expect(";");
+    } else if (t.text == "assign") {
+      const Token lhs = p.expect_ident();
+      p.expect("=");
+      ParsedAssign rhs = parse_rhs(p);
+      if (!assigns.emplace(lhs.text, std::move(rhs)).second) {
+        fail(lhs.line, "duplicate assignment to '" + lhs.text + "'");
+      }
+    } else {
+      fail(t.line, "expected 'wire', 'assign' or 'endmodule', got '" +
+                       t.text + "'");
+    }
+  }
+  p.expect("endmodule");
+  if (!p.done()) fail(p.peek().line, "trailing input after endmodule");
+
+  // Net numbering: wires keep their emitted indices; input ports fill the
+  // remaining slots in declaration order (to_verilog lists inputs in net
+  // order, so this reconstructs the original indices exactly).
+  const int total = static_cast<int>(wires.size() + input_ports.size());
+  for (const auto& [index, token] : wires) {
+    if (index >= total) {
+      fail(token.line, "wire '" + token.text + "' leaves a gap: " +
+                           std::to_string(total) +
+                           " nets declared but index " +
+                           std::to_string(index) + " used");
+    }
+  }
+  std::map<std::string, int> net_of;  // identifier -> net index
+  std::vector<Gate> gates(static_cast<std::size_t>(total));
+  std::size_t next_input = 0;
+  for (int i = 0; i < total; ++i) {
+    if (wires.count(i) != 0) continue;
+    if (next_input >= input_ports.size()) {
+      fail(p.last_line(), "net n" + std::to_string(i) +
+                              " is neither a declared wire nor covered by "
+                              "an input port");
+    }
+    const Token& port = input_ports[next_input++];
+    if (!net_of.emplace(port.text, i).second) {
+      fail(port.line, "duplicate input port '" + port.text + "'");
+    }
+    gates[static_cast<std::size_t>(i)] =
+        Gate{GateKind::kInput, false, {}, port.text};
+  }
+  // total = wires + inputs and every free slot consumed one input, so all
+  // input ports are placed; wires resolve by their own spelling.
+  for (const auto& [index, token] : wires) {
+    if (!net_of.emplace(token.text, index).second) {
+      fail(token.line, "wire '" + token.text + "' collides with an input port");
+    }
+  }
+
+  const auto resolve = [&](const Token& ident) {
+    const auto it = net_of.find(ident.text);
+    if (it == net_of.end()) {
+      fail(ident.line, "unknown identifier '" + ident.text + "'");
+    }
+    return it->second;
+  };
+
+  // Gate definitions: every wire needs exactly one assign.
+  std::map<std::string, int> outputs;
+  for (const auto& [index, token] : wires) {
+    const auto it = assigns.find(token.text);
+    if (it == assigns.end()) {
+      fail(token.line, "wire '" + token.text + "' is never assigned");
+    }
+    const ParsedAssign& a = it->second;
+    Gate& g = gates[static_cast<std::size_t>(index)];
+    g.kind = a.kind;
+    g.const_value = a.const_value;
+    for (const Token& operand : a.fanin) {
+      const int fanin = resolve(operand);
+      if (fanin >= index && a.kind != GateKind::kBuf) {
+        fail(a.line, "feedback into '" + token.text +
+                         "' through a non-buffer gate — only plain-copy "
+                         "assigns may reference later wires");
+      }
+      g.fanin.push_back(fanin);
+    }
+  }
+
+  // Output bindings: `assign o_<name> = <net>;`, one per output port.
+  for (const Token& port : output_ports) {
+    const auto it = assigns.find(port.text);
+    if (it == assigns.end()) {
+      fail(port.line, "output port '" + port.text + "' is never assigned");
+    }
+    const ParsedAssign& a = it->second;
+    if (a.kind != GateKind::kBuf || a.fanin.size() != 1) {
+      fail(a.line, "output port '" + port.text +
+                       "' must be bound to a single net");
+    }
+    if (port.text.rfind("o_", 0) != 0 || port.text.size() <= 2) {
+      fail(port.line, "output port '" + port.text +
+                          "' lacks the o_<name> prefix to_verilog emits");
+    }
+    if (!outputs.emplace(port.text.substr(2), resolve(a.fanin[0])).second) {
+      fail(port.line, "duplicate output '" + port.text + "'");
+    }
+  }
+  // Every assign must have landed as a gate definition or output binding.
+  for (const auto& [lhs, a] : assigns) {
+    const bool is_wire = net_of.count(lhs) != 0 && wires.count(net_of.at(lhs)) != 0;
+    bool is_output = false;
+    for (const Token& port : output_ports) is_output |= port.text == lhs;
+    if (!is_wire && !is_output) {
+      fail(a.line, "assignment to '" + lhs +
+                       "', which is neither a wire nor an output port");
+    }
+  }
+
+  try {
+    return Netlist::from_gates(std::move(gates), std::move(outputs));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("parse_verilog: ") + e.what());
+  }
+}
+
+}  // namespace seance::netlist

@@ -1,0 +1,40 @@
+// Structural-Verilog reader for the subset to_verilog emits.
+//
+// The verified artifact is the exported module, not the in-memory graph
+// that produced it: the gate-level ternary pipeline is literally
+// export -> parse_verilog -> ternary-verify, so a netlist that round-trips
+// through its own Verilog is checked in the same form a downstream tool
+// would elaborate.  The reader reconstructs nets at their original
+// indices (internal wires are named n<index>, input ports fill the
+// remaining slots in declaration order), so for any module produced by
+// to_verilog the round trip is exact:
+//
+//   to_verilog(parse_verilog(v), name) == v
+//
+// Accepted grammar (whitespace-insensitive, `//` line comments allowed):
+//
+//   module <id> ( {input|output} wire <id> {, ...} );
+//     wire n<k>;  ...
+//     assign <lhs> = <rhs>;  ...
+//   endmodule
+//
+// where <rhs> is 1'b0 | 1'b1 | <id> | ~<id> | ~(<id> | ...) |
+// <id> & <id> ... | <id> | <id> ....  Feedback (a right-hand side naming
+// a not-yet-defined wire) is only accepted through plain-copy assigns —
+// the BUF-only feedback invariant the ternary netlist verifier cuts on.
+
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace seance::netlist {
+
+/// Parses one structural module back into a Netlist.  Output ports must
+/// carry to_verilog's `o_` prefix (stripped to recover the output name).
+/// Throws std::runtime_error naming the line on malformed input, unknown
+/// identifiers, duplicate definitions, or feedback through a non-BUF gate.
+[[nodiscard]] Netlist parse_verilog(const std::string& text);
+
+}  // namespace seance::netlist

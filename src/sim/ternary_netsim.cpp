@@ -1,0 +1,307 @@
+#include "sim/ternary_netsim.hpp"
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "logic/ternary.hpp"
+
+namespace seance::sim {
+
+using logic::Val3;
+using netlist::Gate;
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+using detail::update_slot;
+
+Val3 to_val3(bool b) { return b ? Val3::k1 : Val3::k0; }
+
+/// Where the iteration cuts the gate graph: the primary inputs it
+/// drives and the feedback nets it holds as explicit ternary slots.
+struct CutPlan {
+  std::vector<int> x;  ///< nets of inputs x0..x{j-1}
+  std::vector<int> y;  ///< state cut nets (the y placeholder BUFs)
+  int fsv = -1;        ///< fsv cut net, -1 when the layout has no fsv
+};
+
+CutPlan locate_cuts(const Netlist& net, const core::VariableLayout& layout) {
+  CutPlan plan;
+  std::vector<int> input_of_name(static_cast<std::size_t>(layout.num_inputs), -1);
+  for (int i = 0; i < net.size(); ++i) {
+    const Gate& g = net.gates()[static_cast<std::size_t>(i)];
+    if (g.kind != GateKind::kInput) continue;
+    for (int k = 0; k < layout.num_inputs; ++k) {
+      if (g.name == "x" + std::to_string(k)) input_of_name[static_cast<std::size_t>(k)] = i;
+    }
+  }
+  for (int k = 0; k < layout.num_inputs; ++k) {
+    const int n = input_of_name[static_cast<std::size_t>(k)];
+    if (n < 0) {
+      throw std::invalid_argument("gate_ternary_verify: netlist has no input x" +
+                                  std::to_string(k));
+    }
+    plan.x.push_back(n);
+  }
+  for (int n = 0; n < layout.num_state_vars; ++n) {
+    const int cut = net.output("y" + std::to_string(n));
+    if (net.gates()[static_cast<std::size_t>(cut)].kind == GateKind::kInput) {
+      throw std::invalid_argument("gate_ternary_verify: state output y" +
+                                  std::to_string(n) + " is an input net");
+    }
+    for (const int prev : plan.y) {
+      if (prev == cut) {
+        throw std::invalid_argument(
+            "gate_ternary_verify: state outputs share net n" + std::to_string(cut));
+      }
+    }
+    plan.y.push_back(cut);
+  }
+  if (layout.has_fsv) {
+    plan.fsv = net.output("fsv");
+    const Gate& g = net.gates()[static_cast<std::size_t>(plan.fsv)];
+    if (g.kind == GateKind::kInput) {
+      throw std::invalid_argument(
+          "gate_ternary_verify: fsv net n" + std::to_string(plan.fsv) +
+          " is an input — pinning it low would drive a primary input");
+    }
+    for (const int y : plan.y) {
+      if (y == plan.fsv) {
+        throw std::invalid_argument(
+            "gate_ternary_verify: fsv net n" + std::to_string(plan.fsv) +
+            " aliases a state cut — pinning it low would freeze a state "
+            "variable (build_fantom anchors fsv behind a BUF to prevent this)");
+      }
+    }
+  }
+  return plan;
+}
+
+/// Ternary evaluation of cut cones.  Slots hold the current cut values;
+/// every "next value" computation re-walks the cone with a fresh memo so
+/// Gauss-Seidel updates made earlier in the same pass are visible, which
+/// is exactly what the cover-level iterate_once does by evaluating
+/// covers against the in-place state vector.
+class GateEval {
+ public:
+  GateEval(const Netlist& net, const CutPlan& plan)
+      : net_(net),
+        input_val_(static_cast<std::size_t>(net.size()), Val3::k0),
+        cut_slot_(static_cast<std::size_t>(net.size()), Val3::k0),
+        is_cut_(static_cast<std::size_t>(net.size()), 0),
+        memo_(static_cast<std::size_t>(net.size()), kUnset),
+        on_stack_(static_cast<std::size_t>(net.size()), 0) {
+    for (const int y : plan.y) is_cut_[static_cast<std::size_t>(y)] = 1;
+    if (plan.fsv >= 0) is_cut_[static_cast<std::size_t>(plan.fsv)] = 1;
+  }
+
+  void set_input(int net, Val3 v) { input_val_[static_cast<std::size_t>(net)] = v; }
+  void set_slot(int net, Val3 v) { cut_slot_[static_cast<std::size_t>(net)] = v; }
+  [[nodiscard]] Val3 slot(int net) const {
+    return cut_slot_[static_cast<std::size_t>(net)];
+  }
+
+  /// The gate function of `net` over the current input values and cut
+  /// slots — for a cut net this is its *next* value, not its slot.
+  [[nodiscard]] Val3 next_value(int net) {
+    std::fill(memo_.begin(), memo_.end(), kUnset);
+    return eval_function(net);
+  }
+
+ private:
+  static constexpr signed char kUnset = -1;
+
+  Val3 eval_net(int i) {
+    if (is_cut_[static_cast<std::size_t>(i)] != 0) {
+      return cut_slot_[static_cast<std::size_t>(i)];
+    }
+    const signed char cached = memo_[static_cast<std::size_t>(i)];
+    if (cached != kUnset) return static_cast<Val3>(cached);
+    if (on_stack_[static_cast<std::size_t>(i)] != 0) {
+      throw std::logic_error("gate_ternary_verify: feedback cycle through net n" +
+                             std::to_string(i) + " is not broken by a cut");
+    }
+    on_stack_[static_cast<std::size_t>(i)] = 1;
+    const Val3 v = eval_function(i);
+    on_stack_[static_cast<std::size_t>(i)] = 0;
+    memo_[static_cast<std::size_t>(i)] = static_cast<signed char>(v);
+    return v;
+  }
+
+  Val3 eval_function(int i) {
+    const Gate& g = net_.gates()[static_cast<std::size_t>(i)];
+    switch (g.kind) {
+      case GateKind::kInput:
+        return input_val_[static_cast<std::size_t>(i)];
+      case GateKind::kConst:
+        return to_val3(g.const_value);
+      case GateKind::kBuf:
+      case GateKind::kNot: {
+        if (g.fanin.size() != 1) {
+          throw std::logic_error("gate_ternary_verify: gate n" + std::to_string(i) +
+                                 " needs exactly one fanin");
+        }
+        const Val3 v = eval_net(g.fanin[0]);
+        return g.kind == GateKind::kBuf ? v : not3(v);
+      }
+      case GateKind::kAnd: {
+        Val3 v = Val3::k1;
+        for (const int f : g.fanin) v = and3(v, eval_net(f));
+        return v;
+      }
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        Val3 v = Val3::k0;
+        for (const int f : g.fanin) v = or3(v, eval_net(f));
+        return g.kind == GateKind::kOr ? v : not3(v);
+      }
+    }
+    throw std::logic_error("gate_ternary_verify: unknown gate kind");
+  }
+
+  const Netlist& net_;
+  std::vector<Val3> input_val_;
+  std::vector<Val3> cut_slot_;
+  std::vector<char> is_cut_;
+  std::vector<signed char> memo_;
+  std::vector<char> on_stack_;
+};
+
+/// One Gauss-Seidel pass over the cut slots, mirroring the cover-level
+/// iterate_once: fsv first (it feeds the Y cones), then y0..yN-1.
+bool iterate_once(GateEval& eval, const CutPlan& plan, bool widen_only,
+                  bool fsv_low) {
+  bool changed = false;
+  if (plan.fsv >= 0) {
+    const Val3 next = fsv_low ? Val3::k0 : eval.next_value(plan.fsv);
+    Val3 slot = eval.slot(plan.fsv);
+    changed |= update_slot(slot, next, widen_only);
+    eval.set_slot(plan.fsv, slot);
+  }
+  for (const int y : plan.y) {
+    const Val3 next = eval.next_value(y);
+    Val3 slot = eval.slot(y);
+    changed |= update_slot(slot, next, widen_only);
+    eval.set_slot(y, slot);
+  }
+  return changed;
+}
+
+/// Same bound and convergence contract as the cover-level verifier.
+[[nodiscard]] bool run_to_fixpoint(GateEval& eval, const CutPlan& plan,
+                                   int num_state_vars, bool widen_only,
+                                   bool fsv_low) {
+  const int bound = 4 * (num_state_vars + 2);
+  for (int i = 0; i < bound; ++i) {
+    if (!iterate_once(eval, plan, widen_only, fsv_low)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TernaryReport gate_ternary_verify(const Netlist& netlist,
+                                  const core::FantomMachine& machine,
+                                  bool fsv_low) {
+  TernaryReport report;
+  const flowtable::FlowTable& table = machine.table;
+  const core::VariableLayout& layout = machine.layout;
+  const CutPlan plan = locate_cuts(netlist, layout);
+  GateEval eval(netlist, plan);
+
+  for (int s_a = 0; s_a < table.num_states(); ++s_a) {
+    const std::uint32_t code_a = machine.codes[static_cast<std::size_t>(s_a)];
+    for (const int col_a : table.stable_columns(s_a)) {
+      for (int col_b = 0; col_b < table.num_columns(); ++col_b) {
+        if (col_b == col_a || !table.entry(s_a, col_b).specified()) continue;
+        const int s_b = table.entry(s_a, col_b).next;
+        const std::uint32_t code_b = machine.codes[static_cast<std::size_t>(s_b)];
+        ++report.transitions_checked;
+
+        // ---- Procedure A: changing inputs at X, widen to fixpoint ----
+        const std::uint32_t diff =
+            static_cast<std::uint32_t>(col_a) ^ static_cast<std::uint32_t>(col_b);
+        for (int i = 0; i < layout.num_inputs; ++i) {
+          const std::uint32_t bit = 1u << i;
+          eval.set_input(plan.x[static_cast<std::size_t>(i)],
+                         (diff & bit) ? Val3::kX : to_val3((col_a & bit) != 0));
+        }
+        for (int n = 0; n < layout.num_state_vars; ++n) {
+          eval.set_slot(plan.y[static_cast<std::size_t>(n)],
+                        to_val3((code_a >> n) & 1u));
+        }
+        if (plan.fsv >= 0) eval.set_slot(plan.fsv, Val3::k0);
+        if (!run_to_fixpoint(eval, plan, layout.num_state_vars,
+                             /*widen_only=*/true, fsv_low)) {
+          ++report.fixpoint_overruns;
+          if (report.first_failure.empty()) {
+            std::ostringstream msg;
+            msg << "procedure A: widening did not converge on "
+                << table.state_name(s_a) << " col " << col_a << " -> " << col_b;
+            report.first_failure = msg.str();
+          }
+        }
+
+        for (int n = 0; n < layout.num_state_vars; ++n) {
+          const std::uint32_t bit = 1u << n;
+          if ((code_a & bit) != (code_b & bit)) continue;  // allowed to move
+          if (eval.slot(plan.y[static_cast<std::size_t>(n)]) == Val3::kX) {
+            ++report.procedure_a_violations;
+            if (report.first_failure.empty()) {
+              std::ostringstream msg;
+              msg << "procedure A: y" << n << " went X on " << table.state_name(s_a)
+                  << " col " << col_a << " -> " << col_b;
+              report.first_failure = msg.str();
+            }
+          }
+        }
+
+        // ---- Procedure B: final inputs, narrow to fixpoint -----------
+        for (int i = 0; i < layout.num_inputs; ++i) {
+          eval.set_input(plan.x[static_cast<std::size_t>(i)],
+                         to_val3((static_cast<std::uint32_t>(col_b) >> i) & 1u));
+        }
+        if (!run_to_fixpoint(eval, plan, layout.num_state_vars,
+                             /*widen_only=*/false, fsv_low)) {
+          ++report.fixpoint_overruns;
+          if (report.first_failure.empty()) {
+            std::ostringstream msg;
+            msg << "procedure B: settling did not converge on "
+                << table.state_name(s_a) << " col " << col_a << " -> " << col_b;
+            report.first_failure = msg.str();
+          }
+        }
+        bool resolved = true;
+        for (int n = 0; n < layout.num_state_vars; ++n) {
+          if (eval.slot(plan.y[static_cast<std::size_t>(n)]) !=
+              to_val3((code_b >> n) & 1u)) {
+            resolved = false;
+          }
+        }
+        if (!resolved) {
+          ++report.procedure_b_violations;
+          if (report.first_failure.empty()) {
+            std::ostringstream msg;
+            msg << "procedure B: unresolved settling on " << table.state_name(s_a)
+                << " col " << col_a << " -> " << col_b;
+            report.first_failure = msg.str();
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+TernaryReport gate_ternary_verify(const core::FantomMachine& machine,
+                                  bool fsv_low) {
+  Netlist net;
+  (void)netlist::build_fantom(machine, net);
+  return gate_ternary_verify(net, machine, fsv_low);
+}
+
+}  // namespace seance::sim

@@ -14,6 +14,8 @@ namespace {
 
 Val3 to_val3(bool b) { return b ? Val3::k1 : Val3::k0; }
 
+using detail::update_slot;
+
 // One ternary evaluation pass of all feedback functions; returns true if
 // any value changed.  Procedure A only widens (binary -> X); Procedure B
 // only narrows or rewrites toward the fixpoint of the final input vector.
@@ -37,30 +39,32 @@ bool iterate_once(const core::FantomMachine& machine, FeedbackState& state,
       next_fsv = eval3(machine.fsv.cover, xy);
     }
     Val3& slot = state.vars[static_cast<std::size_t>(layout.fsv_var())];
-    if (next_fsv != slot) {
-      slot = widen_only && slot != Val3::kX ? Val3::kX : next_fsv;
-      changed = true;
-    }
+    changed |= update_slot(slot, next_fsv, widen_only);
   }
   for (int n = 0; n < layout.num_state_vars; ++n) {
     const Val3 next = eval3(machine.y[static_cast<std::size_t>(n)].cover, state.vars);
     Val3& slot = state.vars[static_cast<std::size_t>(layout.state_var(n))];
-    if (next != slot) {
-      slot = widen_only && slot != Val3::kX ? Val3::kX : next;
-      changed = true;
-    }
+    changed |= update_slot(slot, next, widen_only);
   }
   return changed;
 }
 
-void run_to_fixpoint(const core::FantomMachine& machine, FeedbackState& state,
-                     bool widen_only, bool fsv_low) {
-  // The lattice is finite (each variable changes at most twice), so the
-  // loop terminates well inside this bound.
+/// Returns true when a fixpoint was reached inside the iteration bound.
+/// False means the bound was exhausted (only possible for Procedure B:
+/// narrowing can oscillate when the feedback is unstable under the final
+/// input vector; widening is monotone on a finite lattice) — the caller
+/// must surface it, a silent return would report whatever partial state
+/// the last pass left as if it were the settled value.
+[[nodiscard]] bool run_to_fixpoint(const core::FantomMachine& machine,
+                                   FeedbackState& state, bool widen_only,
+                                   bool fsv_low) {
+  // Widening changes each variable at most once, so the widen fixpoint
+  // lands well inside this bound; the slack covers narrowing chains.
   const int bound = 4 * (machine.layout.num_state_vars + 2);
   for (int i = 0; i < bound; ++i) {
-    if (!iterate_once(machine, state, widen_only, fsv_low)) return;
+    if (!iterate_once(machine, state, widen_only, fsv_low)) return true;
   }
+  return false;
 }
 
 }  // namespace
@@ -93,7 +97,15 @@ TernaryReport ternary_verify(const core::FantomMachine& machine, bool fsv_low) {
           state.vars[static_cast<std::size_t>(layout.state_var(n))] =
               to_val3((code_a >> n) & 1u);
         }
-        run_to_fixpoint(machine, state, /*widen_only=*/true, fsv_low);
+        if (!run_to_fixpoint(machine, state, /*widen_only=*/true, fsv_low)) {
+          ++report.fixpoint_overruns;
+          if (report.first_failure.empty()) {
+            std::ostringstream msg;
+            msg << "procedure A: widening did not converge on "
+                << table.state_name(s_a) << " col " << col_a << " -> " << col_b;
+            report.first_failure = msg.str();
+          }
+        }
 
         for (int n = 0; n < layout.num_state_vars; ++n) {
           const std::uint32_t bit = 1u << n;
@@ -114,7 +126,15 @@ TernaryReport ternary_verify(const core::FantomMachine& machine, bool fsv_low) {
           state.vars[static_cast<std::size_t>(i)] =
               to_val3((static_cast<std::uint32_t>(col_b) >> i) & 1u);
         }
-        run_to_fixpoint(machine, state, /*widen_only=*/false, fsv_low);
+        if (!run_to_fixpoint(machine, state, /*widen_only=*/false, fsv_low)) {
+          ++report.fixpoint_overruns;
+          if (report.first_failure.empty()) {
+            std::ostringstream msg;
+            msg << "procedure B: settling did not converge on "
+                << table.state_name(s_a) << " col " << col_a << " -> " << col_b;
+            report.first_failure = msg.str();
+          }
+        }
         bool resolved = true;
         for (int n = 0; n < layout.num_state_vars; ++n) {
           if (state.vars[static_cast<std::size_t>(layout.state_var(n))] !=

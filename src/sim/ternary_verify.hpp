@@ -19,8 +19,34 @@
 #include <string>
 
 #include "core/synthesize.hpp"
+#include "logic/ternary.hpp"
 
 namespace seance::sim {
+
+namespace detail {
+
+/// The slot-update rule shared by the cover-level and gate-level
+/// verifiers.  Widening must be monotone in the information order
+/// (0,1 below X): an X never narrows back to a binary value
+/// mid-widening, and a binary slot whose next value differs — even if
+/// the next value is binary — goes to X, because "the value moved" is
+/// exactly what some delay assignment can stretch into a glitch.
+/// (An earlier version wrote `next` whenever the slot was already X,
+/// which let a later pass narrow an X back to binary and under-report
+/// Procedure-A violations; the gate-level differential in
+/// test_ternary_netsim pins the monotone rule.)
+inline bool update_slot(logic::Val3& slot, logic::Val3 next, bool widen_only) {
+  if (widen_only) {
+    if (slot == logic::Val3::kX || next == slot) return false;
+    slot = logic::Val3::kX;
+    return true;
+  }
+  if (next == slot) return false;
+  slot = next;
+  return true;
+}
+
+}  // namespace detail
 
 struct TernaryReport {
   int transitions_checked = 0;
@@ -30,10 +56,17 @@ struct TernaryReport {
   /// Transitions whose Procedure-B fixpoint is not exactly the
   /// destination code (critical race / undetermined settling).
   int procedure_b_violations = 0;
+  /// Fixpoint iterations that exhausted their bound without converging
+  /// (Procedure B can oscillate on a machine whose feedback is unstable
+  /// under the final input vector; Procedure A is monotone and cannot).
+  /// A non-zero count means the analysis of those transitions is
+  /// unsound, so clean() reports false.
+  int fixpoint_overruns = 0;
   std::string first_failure;  ///< human-readable description, empty if clean
 
   [[nodiscard]] bool clean() const {
-    return procedure_a_violations == 0 && procedure_b_violations == 0;
+    return procedure_a_violations == 0 && procedure_b_violations == 0 &&
+           fixpoint_overruns == 0;
   }
 };
 

@@ -115,6 +115,16 @@ std::vector<MetricRow> metric_rows(const driver::JobResult& b,
        options.state_var_tolerance},
       {"cover_cubes", b.cover_cubes, c.cover_cubes, options.cover_tolerance},
       {"cover_gap", b.cover_gap, c.cover_gap, options.cover_tolerance},
+      {"ternary_transitions", b.ternary_transitions, c.ternary_transitions,
+       options.ternary_tolerance},
+      {"ternary_a", b.ternary_a_violations, c.ternary_a_violations,
+       options.ternary_tolerance},
+      {"ternary_b", b.ternary_b_violations, c.ternary_b_violations,
+       options.ternary_tolerance},
+      {"gate_ternary_a", b.gate_ternary_a_violations,
+       c.gate_ternary_a_violations, options.ternary_tolerance},
+      {"gate_ternary_b", b.gate_ternary_b_violations,
+       c.gate_ternary_b_violations, options.ternary_tolerance},
   };
 }
 
@@ -135,6 +145,8 @@ std::string describe(const driver::BatchOptions& options) {
   s += options.verify ? '1' : '0';
   s += " ternary=";
   s += options.ternary ? '1' : '0';
+  s += " gate=";
+  s += options.gate_ternary ? '1' : '0';
   s += " strict=";
   s += options.ternary_strict ? '1' : '0';
   s += " timeout-ms=" + driver::format_fixed(options.job_timeout_ms, 0);
@@ -215,7 +227,13 @@ StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
     // Unknown keys are skipped: minor-version additions stay readable.
   }
 
-  if (i >= lines.size() || lines[i] != driver::kCsvHeader) {
+  // The header must carry this build's columns in order; same-version
+  // files whose writer appended further columns stay readable (the
+  // extras are ignored per row below), so column additions inside one
+  // schema version are forward compatible for this reader.
+  if (i >= lines.size() || lines[i].rfind(driver::kCsvHeader, 0) != 0 ||
+      (lines[i].size() > driver::kCsvHeader.size() &&
+       lines[i][driver::kCsvHeader.size()] != ',')) {
     fail(i < lines.size() ? i : lines.size() - 1,
          "CSV header does not match this build's column schema");
   }
@@ -230,8 +248,11 @@ StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
     if (tolerate_partial_tail && last_line && !newline_terminated) break;
     try {
       const std::vector<std::string> f = split_csv_row(lines[i], i);
-      if (f.size() != 19) {
-        fail(i, "expected 19 fields, got " + std::to_string(f.size()));
+      // Extra trailing fields (columns a newer writer appended within
+      // this schema version) are ignored, mirroring the prefix-matched
+      // header above; too few fields is corruption.
+      if (f.size() < 21) {
+        fail(i, "expected at least 21 fields, got " + std::to_string(f.size()));
       }
       driver::JobResult r;
       r.name = f[0];
@@ -255,6 +276,8 @@ StoredReport parse(const std::string& text, bool tolerate_partial_tail) {
       r.ternary_b_violations = parse_int(f[16], i);
       r.cover_cubes = parse_int(f[17], i);
       r.cover_gap = parse_int(f[18], i);
+      r.gate_ternary_a_violations = parse_int(f[19], i);
+      r.gate_ternary_b_violations = parse_int(f[20], i);
       stored.report.jobs.push_back(std::move(r));
     } catch (const std::runtime_error&) {
       if (tolerate_partial_tail && last_line) break;

@@ -33,8 +33,12 @@ namespace seance::store {
 /// Bumped whenever the serialized layout changes shape; load() rejects
 /// files written by a different version (golden files are regenerated,
 /// never migrated).  v2: cover_cubes + cover_gap columns (certified
-/// cover-optimality accounting).
-inline constexpr int kSchemaVersion = 2;
+/// cover-optimality accounting).  v3: gate_ternary_a + gate_ternary_b
+/// columns (gate-level Eichelberger over the Verilog round trip) and a
+/// `gate=` key in the checks identity line; the CSV header is matched by
+/// prefix from v3 on, so this reader also accepts same-version files
+/// whose writer appended further columns (extras are ignored per row).
+inline constexpr int kSchemaVersion = 3;
 
 /// Canonical one-line spellings used in the metadata header.  Two runs
 /// with equal strings ran the same pipeline configuration.  The
@@ -118,6 +122,10 @@ struct DiffOptions {
   int gate_tolerance = 0;       ///< gate_count
   int state_var_tolerance = 0;  ///< state_vars, synthesized_states
   int cover_tolerance = 0;      ///< cover_cubes, cover_gap
+  /// ternary_transitions, ternary_a/b, gate_ternary_a/b — the cover- and
+  /// gate-level Eichelberger columns drift together or not at all on a
+  /// healthy corpus, so one knob covers all five.
+  int ternary_tolerance = 0;
 };
 
 enum class DeltaKind : std::uint8_t {

@@ -257,6 +257,8 @@ TEST(BatchReport, CsvHeaderAndRowArePinnedByteForByte) {
   j.ternary_b_violations = 7;
   j.cover_cubes = 55;
   j.cover_gap = 2;
+  j.gate_ternary_a_violations = 4;
+  j.gate_ternary_b_violations = 7;
   j.wall_ms = 12.3456;
   BatchReport report;
   report.jobs.push_back(j);
@@ -265,18 +267,20 @@ TEST(BatchReport, CsvHeaderAndRowArePinnedByteForByte) {
             "name,status,inputs,outputs,input_states,synthesized_states,"
             "state_vars,fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,"
             "gate_count,equations_verified,ternary_transitions,ternary_a,"
-            "ternary_b,cover_cubes,cover_gap\n"
-            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,55,2\n");
+            "ternary_b,cover_cubes,cover_gap,gate_ternary_a,gate_ternary_b\n"
+            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,55,2,4,7\n");
   // The optional wall column uses the locale-independent fixed format.
   EXPECT_EQ(report.to_csv(/*with_wall_ms=*/true),
             "name,status,inputs,outputs,input_states,synthesized_states,"
             "state_vars,fl_hazards,var_hazards,fsv_depth,y_depth,total_depth,"
             "gate_count,equations_verified,ternary_transitions,ternary_a,"
-            "ternary_b,cover_cubes,cover_gap,wall_ms\n"
-            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,55,2,12.346\n");
+            "ternary_b,cover_cubes,cover_gap,gate_ternary_a,gate_ternary_b,"
+            "wall_ms\n"
+            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,55,2,4,7,12.346\n");
   // The streaming row serializer (shard workers append rows one at a
   // time) emits exactly the to_csv record for the job.
-  EXPECT_EQ(to_csv_row(j), "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,55,2");
+  EXPECT_EQ(to_csv_row(j),
+            "pinned,ok,3,2,6,5,3,10,12,3,5,9,80,1,40,4,7,55,2,4,7");
 }
 
 TEST(BatchReport, ShardedRunsAddASummaryLineAndCrashedCountsAsFailure) {

@@ -229,7 +229,7 @@ TEST(StoreParse, RejectsBadMagicVersionHeaderAndRows) {
   EXPECT_THROW(parse("not a store file\n"), std::runtime_error);
 
   std::string bad_version = good;
-  bad_version.replace(bad_version.find("v2"), 2, "v9");
+  bad_version.replace(bad_version.find("v3"), 2, "v9");
   EXPECT_THROW(parse(bad_version), std::runtime_error);
 
   std::string bad_header = good;
@@ -280,6 +280,29 @@ TEST(StoreParse, SkipsFutureHeaderLinesOfAnyShape) {
   const std::size_t seed_at = bad_seed.find("# seed: 99");
   bad_seed.replace(seed_at, 10, "# seed: xx");
   EXPECT_THROW(parse(bad_seed), std::runtime_error);
+}
+
+TEST(StoreParse, AcceptsAppendedCsvColumnsFromANewerWriter) {
+  // From schema v3 the CSV header is matched by prefix: a same-version
+  // file whose writer appended further columns must parse, with the
+  // extra per-row fields ignored.  A header that merely *extends the
+  // last column name* (no comma boundary) is still a mismatch.
+  StoredReport stored = make_stored({make_job("a")});
+  std::string text = serialize(stored);
+  const std::string header(driver::kCsvHeader);
+  std::size_t at = text.find(header);
+  ASSERT_NE(at, std::string::npos);
+  std::string widened = text;
+  widened.replace(at, header.size(), header + ",future_metric");
+  // The single data row is the final line; give it the future value too.
+  widened.insert(widened.size() - 1, ",123");
+  const StoredReport reread = parse(widened);
+  ASSERT_EQ(reread.report.jobs.size(), 1u);
+  EXPECT_EQ(reread.report.jobs[0].name, "a");
+  EXPECT_EQ(serialize(reread), text);  // extras do not survive re-export
+  std::string glued = text;
+  glued.replace(at, header.size(), header + "_suffix");
+  EXPECT_THROW(parse(glued), std::runtime_error);
 }
 
 TEST(Store, ShardIdentityRoundTripsAndIsOmittedWhenEmpty) {
@@ -471,7 +494,7 @@ TEST(StoreDescribe, PinnedSpellings) {
   EXPECT_EQ(describe(bench_suite::GeneratorOptions{}),
             "states=6 inputs=3 outputs=2 density=0.500000 mic-bias=0.700000");
   EXPECT_EQ(describe(driver::BatchOptions{}),
-            "verify=1 ternary=1 strict=0 timeout-ms=0");
+            "verify=1 ternary=1 gate=0 strict=0 timeout-ms=0");
   core::SynthesisOptions baseline;
   baseline.add_fsv = false;
   baseline.cover_mode = logic::CoverMode::kGreedy;

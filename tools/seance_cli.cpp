@@ -80,8 +80,10 @@
 #include "fleet/process.hpp"
 #include "flowtable/kiss.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
 #include "option_table.hpp"
 #include "sim/harness.hpp"
+#include "sim/ternary_netsim.hpp"
 #include "sim/ternary_verify.hpp"
 #include "store/store.hpp"
 
@@ -207,6 +209,10 @@ void add_check_options(OptionTable& table, CorpusFlags& flags) {
   table.flag("--strict-ternary",
              "fail jobs whose ternary pass flags (conservative!)",
              &flags.options.ternary_strict);
+  table.flag("--gate-ternary",
+             "also verify the gate netlist re-imported from its own "
+             "Verilog (closes the export/parse/verify loop per job)",
+             &flags.options.gate_ternary);
   table.flag("--no-verify", "skip the equation cross-check",
              &flags.options.verify, false);
   table.number("--timeout", "MS",
@@ -779,6 +785,9 @@ int run_diff(int argc, char** argv) {
   table.number("--tol-cover", "N",
                "absolute cover_cubes / cover_gap drift tolerance",
                &options.cover_tolerance);
+  table.number("--tol-ternary", "N",
+               "absolute ternary / gate_ternary column drift tolerance",
+               &options.ternary_tolerance);
   table.flag("--quiet", "verdict line only", &quiet);
   switch (table.parse(argc, argv, 2, &paths)) {
     case ParseResult::kHelp: return 0;
@@ -872,6 +881,7 @@ int load_warm_tier(seance::api::ResultCache& cache, const CorpusFlags& flags,
     req.verify = flags.options.verify;
     req.ternary = flags.options.ternary;
     req.ternary_strict = flags.options.ternary_strict;
+    req.gate_ternary = flags.options.gate_ternary;
     req.timeout_ms = flags.options.job_timeout_ms;
     cache.warm_insert(seance::api::cache_key(req), row);
     ++warmed;
@@ -941,6 +951,7 @@ int run_serve(int argc, char** argv) {
   config.verify = flags.options.verify;
   config.ternary = flags.options.ternary;
   config.ternary_strict = flags.options.ternary_strict;
+  config.gate_ternary = flags.options.gate_ternary;
   config.timeout_ms = flags.options.job_timeout_ms;
 
   if (!quiet) {
@@ -983,6 +994,7 @@ int run_single(int argc, char** argv) {
   std::string verilog_path;
   std::string kiss_path;
   bool verify = false;
+  bool gate_ternary = false;
   bool quiet = false;
   int walk_steps = 500;
   seance::core::SynthesisOptions options;
@@ -1002,6 +1014,10 @@ int run_single(int argc, char** argv) {
              &verify);
   table.number("--walk", "N",
                "simulated handshakes for --verify (default 500)", &walk_steps);
+  table.flag("--gate-ternary",
+             "with --verify: re-import the exported Verilog and repeat the "
+             "ternary verification on the gate network",
+             &gate_ternary);
   add_synthesis_options(table, options);
   table.flag("--quiet", "suppress the report", &quiet);
   switch (table.parse(argc, argv, 1, &positionals)) {
@@ -1084,6 +1100,33 @@ int run_single(int argc, char** argv) {
                 "(procedure A/B)\n",
                 ternary.transitions_checked, ternary.procedure_a_violations,
                 ternary.procedure_b_violations);
+    if (gate_ternary) {
+      seance::netlist::Netlist built;
+      (void)seance::netlist::build_fantom(machine, built);
+      const std::string verilog = seance::netlist::to_verilog(built, "fantom");
+      seance::netlist::Netlist reimported;
+      try {
+        reimported = seance::netlist::parse_verilog(verilog);
+      } catch (const std::exception& e) {
+        std::printf("verilog round trip: FAIL (%s)\n", e.what());
+        return 1;
+      }
+      if (seance::netlist::to_verilog(reimported, "fantom") != verilog) {
+        std::printf("verilog round trip: FAIL (re-export not byte-stable)\n");
+        return 1;
+      }
+      const auto gate = seance::sim::gate_ternary_verify(reimported, machine);
+      std::printf("gate ternary: %d transitions, %d/%d conservative flags "
+                  "(procedure A/B)\n",
+                  gate.transitions_checked, gate.procedure_a_violations,
+                  gate.procedure_b_violations);
+      if (gate.procedure_a_violations != ternary.procedure_a_violations ||
+          gate.procedure_b_violations != ternary.procedure_b_violations) {
+        std::printf("gate ternary: FAIL (disagrees with the cover-level "
+                    "verdict)\n");
+        return 1;
+      }
+    }
     seance::sim::HarnessOptions harness_options;
     harness_options.max_skew = 2;
     seance::sim::FantomHarness harness(machine, harness_options);
